@@ -1,0 +1,66 @@
+"""Sec. V / Fig. 3 — the packed 2-bit way-table entry format.
+
+Two claims are reproduced:
+
+* the packed validity+way encoding needs 128 bits per 64-line page entry,
+  one third less than the naive 192-bit format (separate valid bit plus
+  2-bit way id per line);
+* restricting each line to three representable ways (so that 2 bits suffice)
+  causes no measurable increase of the L1 miss rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TRACE_INSTRUCTIONS, WARMUP_FRACTION
+from repro.analysis.reporting import format_table
+from repro.core.way_table import WayTableEntry
+from repro.sim.config import MalecParameters, SimulationConfig
+from repro.sim.simulator import run_configuration
+from repro.workloads.suites import benchmark_profile
+from repro.workloads.synthetic import generate_trace
+
+BENCHMARKS = ["gzip", "gap", "mesa", "djpeg", "mpeg2dec"]
+
+
+def test_fig3_entry_storage(benchmark):
+    entry = benchmark.pedantic(WayTableEntry, rounds=1, iterations=1)
+    rows = [
+        ["packed 2-bit format (Fig. 3)", entry.storage_bits],
+        ["naive valid + way-id format", entry.naive_storage_bits],
+        ["saving", entry.naive_storage_bits - entry.storage_bits],
+    ]
+    print("\nSec. V — way-table entry storage per 4 KByte page (64 lines)")
+    print(format_table(["format", "bits"], rows))
+    assert entry.storage_bits == 128
+    assert entry.naive_storage_bits == 192
+    # "reducing area and leakage power by 1/3 compared to the naive format"
+    assert entry.storage_bits == pytest.approx(entry.naive_storage_bits * 2 / 3)
+
+
+def test_sec5_way_restriction_does_not_hurt_miss_rate(benchmark):
+    def sweep():
+        restricted = SimulationConfig.malec()
+        unrestricted = SimulationConfig.malec(
+            name="MALEC_unrestricted",
+            malec_options=MalecParameters(restrict_way_allocation=False),
+        )
+        rows = []
+        for name in BENCHMARKS:
+            trace = generate_trace(benchmark_profile(name), instructions=TRACE_INSTRUCTIONS)
+            a = run_configuration(restricted, trace, warmup_fraction=WARMUP_FRACTION)
+            b = run_configuration(unrestricted, trace, warmup_fraction=WARMUP_FRACTION)
+            rows.append([name, a.l1_load_miss_rate, b.l1_load_miss_rate])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nSec. V — L1 load miss rate with and without the 3-way restriction "
+          "(paper: no measurable increase)")
+    print(format_table(["benchmark", "restricted (3 ways/line)", "unrestricted (4 ways)"], rows))
+
+    restricted_avg = sum(row[1] for row in rows) / len(rows)
+    unrestricted_avg = sum(row[2] for row in rows) / len(rows)
+    # The restriction must not raise the average miss rate by more than one
+    # percentage point ("no measurable increase" in the paper).
+    assert restricted_avg - unrestricted_avg < 0.01

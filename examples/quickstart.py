@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the three L1 interfaces on one synthetic benchmark.
+
+Runs a short ``gzip``-like trace through the energy-oriented baseline
+(Base1ldst), the performance-oriented baseline (Base2ld1st) and MALEC, then
+prints normalized execution time and energy — the same comparison the paper's
+abstract summarises ("~14 % faster than the single-access baseline at ~22 %
+less energy; the multi-ported baseline is similarly fast but needs ~48 %
+*more* energy").
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_configuration
+from repro.analysis.reporting import format_table
+from repro.workloads import benchmark_profile, generate_trace
+
+
+def main() -> None:
+    trace = generate_trace(benchmark_profile("gzip"), instructions=6000)
+    print(f"workload: {trace.summary()}")
+
+    configurations = [
+        SimulationConfig.base_1ldst(),
+        SimulationConfig.base_2ld1st(),
+        SimulationConfig.malec(),
+    ]
+
+    results = {}
+    for config in configurations:
+        results[config.name] = run_configuration(config, trace, warmup_fraction=0.3)
+
+    baseline = results["Base1ldst"]
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.cycles,
+                result.cycles / baseline.cycles,
+                result.energy.dynamic_pj / baseline.energy.total_pj,
+                result.energy.leakage_pj / baseline.energy.total_pj,
+                result.energy.total_pj / baseline.energy.total_pj,
+                result.way_coverage,
+                result.merged_load_fraction,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "configuration",
+                "cycles",
+                "norm. time",
+                "norm. dynamic",
+                "norm. leakage",
+                "norm. total",
+                "way coverage",
+                "merged loads",
+            ],
+            rows,
+        )
+    )
+    print()
+    malec = results["MALEC"]
+    multi = results["Base2ld1st"]
+    print(
+        f"MALEC runs within {abs(malec.cycles / multi.cycles - 1) * 100:.1f}% of the "
+        f"multi-ported baseline while using "
+        f"{(1 - malec.energy.total_pj / multi.energy.total_pj) * 100:.0f}% less energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

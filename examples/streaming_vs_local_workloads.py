@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Streaming vs cache-friendly workloads: where MALEC wins and where it doesn't.
+
+Sec. VI-D of the paper notes that way prediction (and MALEC's benefits in
+general) depend strongly on access locality: streaming, high-miss-rate
+workloads such as ``mcf`` and ``art`` see little speed-up and can even lose
+energy on the way tables, while pointer-dense but line-local workloads profit
+from load merging.  This example contrasts three workload classes:
+
+* a streaming pointer-chase workload (``mcf``-like),
+* an array-streaming floating-point workload (``swim``-like),
+* a cache-friendly integer workload (``gzip``-like),
+
+and reports execution time, energy, way-table coverage and merged loads for
+MALEC relative to both baselines.
+
+Run with::
+
+    python examples/streaming_vs_local_workloads.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_configuration
+from repro.analysis.reporting import format_table
+from repro.workloads import benchmark_profile, generate_trace
+
+WORKLOADS = {
+    "pointer streaming (mcf)": "mcf",
+    "array streaming (swim)": "swim",
+    "strided, low line reuse (mgrid)": "mgrid",
+    "cache friendly (gzip)": "gzip",
+    "media kernel (h263dec)": "h263dec",
+}
+INSTRUCTIONS = 5000
+
+
+def main() -> None:
+    configurations = [
+        SimulationConfig.base_1ldst(),
+        SimulationConfig.base_2ld1st(),
+        SimulationConfig.malec(),
+    ]
+    rows = []
+    for label, benchmark in WORKLOADS.items():
+        trace = generate_trace(benchmark_profile(benchmark), instructions=INSTRUCTIONS)
+        results = {
+            config.name: run_configuration(config, trace, warmup_fraction=0.3)
+            for config in configurations
+        }
+        base = results["Base1ldst"]
+        malec = results["MALEC"]
+        rows.append(
+            [
+                label,
+                base.l1_load_miss_rate,
+                results["Base2ld1st"].cycles / base.cycles,
+                malec.cycles / base.cycles,
+                malec.energy.total_pj / base.energy.total_pj,
+                malec.way_coverage,
+                malec.merged_load_fraction,
+            ]
+        )
+
+    print("MALEC behaviour across workload classes (normalized to Base1ldst)")
+    print(
+        format_table(
+            [
+                "workload",
+                "L1 miss rate",
+                "Base2ld1st time",
+                "MALEC time",
+                "MALEC energy",
+                "way coverage",
+                "merged loads",
+            ],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Streaming workloads show low way-table coverage and small gains, while\n"
+        "local and media workloads approach the paper's headline results — the\n"
+        "trend Sec. VI-D describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Packaging entry point.
+
+The offline evaluation environment cannot reach PyPI, so ``pip install -e .``
+must avoid PEP 517 build isolation (which downloads setuptools/wheel into a
+fresh build environment).  pip only takes the isolation-free legacy install
+path when the project declares its metadata via ``setup.py`` and ships no
+``pyproject.toml``; pytest configuration therefore lives in ``pytest.ini``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'MALEC: A Multiple Access Low Energy Cache' (DATE 2013)"
+    ),
+    author="MALEC Reproduction Authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.20"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    classifiers=[
+        "Development Status :: 5 - Production/Stable",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -1,0 +1,32 @@
+"""Analysis utilities: locality studies, experiment running and reporting.
+
+This package hosts the code that turns raw simulations into the paper's
+figures and tables: the page/line locality analysis behind Fig. 1 and the
+motivation of Sec. III, an experiment runner that sweeps configurations over
+benchmark suites (Fig. 4a/4b), and small reporting helpers (geometric means,
+text tables) shared by the benchmark harness and the examples.
+"""
+
+from repro.analysis.locality import (
+    LocalityReport,
+    PageLocalityAnalyzer,
+    RUN_LENGTH_BUCKETS,
+)
+from repro.analysis.experiments import (
+    BenchmarkRun,
+    ExperimentRunner,
+    ExperimentResults,
+)
+from repro.analysis.reporting import format_table, geometric_mean, normalize
+
+__all__ = [
+    "LocalityReport",
+    "PageLocalityAnalyzer",
+    "RUN_LENGTH_BUCKETS",
+    "BenchmarkRun",
+    "ExperimentRunner",
+    "ExperimentResults",
+    "format_table",
+    "geometric_mean",
+    "normalize",
+]

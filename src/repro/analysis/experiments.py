@@ -1,0 +1,145 @@
+"""Experiment runner: sweep configurations over benchmark suites.
+
+:class:`ExperimentRunner` is the harness behind the Fig. 4 benchmarks and
+examples: it generates (and caches) the synthetic trace of each benchmark,
+runs every requested configuration over it and exposes the normalized
+execution-time and energy views the paper plots, including the per-suite
+geometric means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.reporting import geometric_mean
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import SimulationResult, run_configuration
+from repro.workloads.suites import ALL_BENCHMARKS, SUITES, benchmark_profile
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import MemoryTrace
+
+
+@dataclass
+class BenchmarkRun:
+    """All configuration results for one benchmark."""
+
+    benchmark: str
+    suite: str
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def normalized_cycles(self, baseline: str) -> Dict[str, float]:
+        """Execution time of every configuration relative to ``baseline``."""
+        base = self.results[baseline].cycles
+        return {name: result.cycles / base for name, result in self.results.items()}
+
+    def normalized_energy(self, baseline: str) -> Dict[str, Dict[str, float]]:
+        """Dynamic/leakage/total energy relative to ``baseline``'s total."""
+        base = self.results[baseline]
+        return {
+            name: result.normalized_energy(base) for name, result in self.results.items()
+        }
+
+
+@dataclass
+class ExperimentResults:
+    """Results of a full sweep (benchmarks x configurations)."""
+
+    runs: List[BenchmarkRun] = field(default_factory=list)
+    configurations: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def run_for(self, benchmark: str) -> BenchmarkRun:
+        """The :class:`BenchmarkRun` of ``benchmark``."""
+        for run in self.runs:
+            if run.benchmark == benchmark:
+                return run
+        raise KeyError(benchmark)
+
+    def suites(self) -> List[str]:
+        """Suites present in the sweep, in canonical order."""
+        present = {run.suite for run in self.runs}
+        return [suite for suite in SUITES if suite in present]
+
+    # ------------------------------------------------------------------
+    def geomean_normalized_cycles(
+        self, baseline: str, suite: Optional[str] = None
+    ) -> Dict[str, float]:
+        """Per-configuration geometric mean of normalized execution time."""
+        values: Dict[str, List[float]] = {name: [] for name in self.configurations}
+        for run in self.runs:
+            if suite is not None and run.suite != suite:
+                continue
+            normalized = run.normalized_cycles(baseline)
+            for name in self.configurations:
+                values[name].append(normalized[name])
+        return {
+            name: geometric_mean(series) if series else 0.0
+            for name, series in values.items()
+        }
+
+    def geomean_normalized_energy(
+        self, baseline: str, suite: Optional[str] = None, component: str = "total"
+    ) -> Dict[str, float]:
+        """Per-configuration geometric mean of normalized energy."""
+        values: Dict[str, List[float]] = {name: [] for name in self.configurations}
+        for run in self.runs:
+            if suite is not None and run.suite != suite:
+                continue
+            normalized = run.normalized_energy(baseline)
+            for name in self.configurations:
+                values[name].append(normalized[name][component])
+        return {
+            name: geometric_mean(series) if series else 0.0
+            for name, series in values.items()
+        }
+
+    def mean_stat(self, config: str, extractor) -> float:
+        """Arithmetic mean of ``extractor(result)`` over all benchmarks."""
+        values = [extractor(run.results[config]) for run in self.runs]
+        return sum(values) / len(values) if values else 0.0
+
+
+class ExperimentRunner:
+    """Runs configuration sweeps over (subsets of) the benchmark suites.
+
+    ``warmup_fraction`` of every trace is executed once per configuration to
+    warm the caches, TLBs and way tables before measurement starts (the paper
+    measures warmed-up Simpoint phases, so cold-start effects would otherwise
+    dominate the short synthetic traces).
+    """
+
+    def __init__(
+        self,
+        instructions: int = 12_000,
+        benchmarks: Optional[Sequence[str]] = None,
+        warmup_fraction: float = 0.25,
+    ) -> None:
+        if instructions <= 0:
+            raise ValueError("traces need at least one instruction")
+        self.instructions = instructions
+        self.benchmarks = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
+        self.warmup_fraction = warmup_fraction
+        self._trace_cache: Dict[str, MemoryTrace] = {}
+
+    # ------------------------------------------------------------------
+    def trace_for(self, benchmark: str) -> MemoryTrace:
+        """The (cached) synthetic trace of ``benchmark``."""
+        if benchmark not in self._trace_cache:
+            profile = benchmark_profile(benchmark)
+            self._trace_cache[benchmark] = generate_trace(profile, self.instructions)
+        return self._trace_cache[benchmark]
+
+    def run(self, configurations: Sequence[SimulationConfig]) -> ExperimentResults:
+        """Run every configuration over every selected benchmark."""
+        results = ExperimentResults(configurations=[config.name for config in configurations])
+        for benchmark in self.benchmarks:
+            profile = benchmark_profile(benchmark)
+            trace = self.trace_for(benchmark)
+            run = BenchmarkRun(benchmark=benchmark, suite=profile.suite)
+            for config in configurations:
+                run.results[config.name] = run_configuration(
+                    config, trace, warmup_fraction=self.warmup_fraction
+                )
+            results.runs.append(run)
+        return results

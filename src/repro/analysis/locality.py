@@ -1,0 +1,163 @@
+"""Page and line locality analysis (Sec. III / Fig. 1).
+
+The motivation for MALEC rests on two measurements over the load stream:
+
+* the fraction of loads that are directly followed by one or more loads to
+  the same page (70 % on average), and how that fraction grows when one, two
+  or three *intermediate* accesses to a different page are tolerated
+  (85 / 90 / 92 %);
+* the distribution of same-page run lengths (Fig. 1's stacked bars: runs of
+  1, 2, 3–4, 5–8 and >8 consecutive accesses), again as a function of the
+  number of tolerated intermediate accesses;
+* the equivalent same-*line* measurement (46 % of loads are directly
+  followed by a load to the same cache line), which motivates load merging.
+
+:class:`PageLocalityAnalyzer` computes all three over any address sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+
+#: Fig. 1 stacked-bar buckets: runs of exactly 1, exactly 2, 3-4, 5-8, >8.
+RUN_LENGTH_BUCKETS: Tuple[str, ...] = ("x=1", "x=2", "2<x<=4", "4<x<=8", "8<x")
+
+
+@dataclass
+class LocalityReport:
+    """Result of one locality analysis over an address stream."""
+
+    accesses: int
+    #: fraction of accesses followed by a same-page access, per allowed
+    #: number of intermediate accesses (key = intermediates allowed)
+    follow_fraction: Dict[int, float] = field(default_factory=dict)
+    #: per intermediates-allowed: fraction of accesses belonging to runs in
+    #: each of the :data:`RUN_LENGTH_BUCKETS`
+    run_distribution: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: fraction of accesses directly followed by a same-line access
+    same_line_follow: float = 0.0
+
+    def summary(self) -> str:
+        """Compact human-readable summary mirroring the Sec. III numbers."""
+        parts = [f"accesses={self.accesses}"]
+        for intermediates in sorted(self.follow_fraction):
+            parts.append(
+                f"same-page (<= {intermediates} intermediates): "
+                f"{self.follow_fraction[intermediates] * 100:.1f}%"
+            )
+        parts.append(f"same-line follow: {self.same_line_follow * 100:.1f}%")
+        return "\n".join(parts)
+
+
+class PageLocalityAnalyzer:
+    """Computes Fig. 1 style locality statistics over address sequences."""
+
+    def __init__(self, layout: AddressLayout = DEFAULT_LAYOUT) -> None:
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    def same_page_follow_fraction(
+        self, addresses: Sequence[int], intermediates: int = 0
+    ) -> float:
+        """Fraction of accesses followed by a same-page access.
+
+        An access counts when at least one of the next ``intermediates + 1``
+        accesses touches the same page — i.e. up to ``intermediates`` accesses
+        to *different* pages may sit in between, exactly the tolerance MALEC's
+        Input Buffer provides by holding unmatched loads for later cycles.
+        """
+        if intermediates < 0:
+            raise ValueError("intermediates cannot be negative")
+        if len(addresses) < 2:
+            return 0.0
+        page_ids = [self.layout.page_id(address) for address in addresses]
+        window = intermediates + 1
+        matched = 0
+        total = 0
+        for index in range(len(page_ids) - 1):
+            total += 1
+            limit = min(len(page_ids), index + 1 + window)
+            if page_ids[index] in page_ids[index + 1 : limit]:
+                matched += 1
+        return matched / total if total else 0.0
+
+    def same_line_follow_fraction(self, addresses: Sequence[int]) -> float:
+        """Fraction of accesses directly followed by a same-line access."""
+        if len(addresses) < 2:
+            return 0.0
+        lines = [self.layout.line_number(address) for address in addresses]
+        matched = sum(1 for a, b in zip(lines, lines[1:]) if a == b)
+        return matched / (len(lines) - 1)
+
+    # ------------------------------------------------------------------
+    def run_length_distribution(
+        self, addresses: Sequence[int], intermediates: int = 0
+    ) -> Dict[str, float]:
+        """Fraction of accesses in same-page runs of each Fig. 1 bucket.
+
+        A *run* is a maximal group of accesses to one page in which at most
+        ``intermediates`` consecutive accesses to other pages are tolerated
+        between members.  Every access belongs to exactly one run of its own
+        page; the distribution weights runs by their length (so the values
+        sum to 1 and match Fig. 1's "consecutive accesses per page" axis).
+        """
+        if intermediates < 0:
+            raise ValueError("intermediates cannot be negative")
+        if not addresses:
+            return {bucket: 0.0 for bucket in RUN_LENGTH_BUCKETS}
+        page_ids = [self.layout.page_id(address) for address in addresses]
+
+        run_lengths: List[int] = []
+        #: open runs: page -> (length, gap since last member)
+        open_runs: Dict[int, List[int]] = {}
+        for page in page_ids:
+            # Age every open run; close the ones whose gap exceeds the budget.
+            closed = []
+            for other_page, state in open_runs.items():
+                if other_page == page:
+                    continue
+                state[1] += 1
+                if state[1] > intermediates:
+                    closed.append(other_page)
+            for other_page in closed:
+                run_lengths.append(open_runs.pop(other_page)[0])
+            if page in open_runs:
+                open_runs[page][0] += 1
+                open_runs[page][1] = 0
+            else:
+                open_runs[page] = [1, 0]
+        run_lengths.extend(state[0] for state in open_runs.values())
+
+        counts = {bucket: 0 for bucket in RUN_LENGTH_BUCKETS}
+        for length in run_lengths:
+            counts[self._bucket(length)] += length
+        total = sum(counts.values())
+        return {bucket: counts[bucket] / total for bucket in RUN_LENGTH_BUCKETS}
+
+    @staticmethod
+    def _bucket(length: int) -> str:
+        """Map a run length to its Fig. 1 bucket."""
+        if length <= 1:
+            return "x=1"
+        if length == 2:
+            return "x=2"
+        if length <= 4:
+            return "2<x<=4"
+        if length <= 8:
+            return "4<x<=8"
+        return "8<x"
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self, addresses: Sequence[int], intermediates: Sequence[int] = (0, 1, 2, 3, 4, 8)
+    ) -> LocalityReport:
+        """Full locality report for one address stream."""
+        report = LocalityReport(accesses=len(addresses))
+        for value in intermediates:
+            report.follow_fraction[value] = self.same_page_follow_fraction(addresses, value)
+            report.run_distribution[value] = self.run_length_distribution(addresses, value)
+        report.same_line_follow = self.same_line_follow_fraction(addresses)
+        return report

@@ -1,0 +1,61 @@
+"""Small reporting helpers shared by benchmarks, examples and tests.
+
+The paper reports suite-level results as geometric means of per-benchmark
+normalized values (Fig. 4's ``geo. mean`` columns); these helpers compute the
+means, normalize result dictionaries and render aligned text tables so every
+benchmark target can print the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Divide every value by the value of ``baseline_key``."""
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ValueError("baseline value is zero")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a simple aligned text table.
+
+    Floats are formatted with ``float_format``; all other values with
+    ``str``.  Used by the benchmark harness to print the same rows/series the
+    paper reports.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(row[col]) for row in rendered) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rendered):
+        line = "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    return "\n".join(lines)

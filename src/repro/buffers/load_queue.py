@@ -1,0 +1,96 @@
+"""Load queue.
+
+The load queue (LQ, 40 entries in Table II) tracks every in-flight load from
+dispatch until its data has returned and the load has committed.  In this
+reproduction it provides the back-pressure that limits how many loads the
+pipeline can have outstanding, and records per-load timing used for the
+latency statistics.  Its energy is excluded from the paper's results (it is
+the same for every configuration), so no lookup events are charged here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.stats import StatCounters
+
+
+@dataclass
+class LoadQueueEntry:
+    """Book-keeping for one in-flight load."""
+
+    tag: Any
+    virtual_address: int
+    dispatch_cycle: int
+    issue_cycle: Optional[int] = None
+    complete_cycle: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Cycles from issue to data return, when both are known."""
+        if self.issue_cycle is None or self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.issue_cycle
+
+
+class LoadQueue:
+    """Fixed-capacity queue of in-flight loads keyed by an opaque tag."""
+
+    def __init__(self, entries: int = 40, stats: Optional[StatCounters] = None) -> None:
+        if entries <= 0:
+            raise ValueError("the load queue needs at least one entry")
+        self.entries = entries
+        self.stats = stats if stats is not None else StatCounters()
+        self._entries: Dict[Any, LoadQueueEntry] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of loads currently tracked."""
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no further load can be dispatched."""
+        return len(self._entries) >= self.entries
+
+    def allocate(self, tag: Any, virtual_address: int, cycle: int) -> LoadQueueEntry:
+        """Insert a load at dispatch; raises when the queue is full."""
+        if self.full:
+            raise RuntimeError("load queue overflow")
+        if tag in self._entries:
+            raise ValueError(f"load {tag!r} already present in the load queue")
+        entry = LoadQueueEntry(tag=tag, virtual_address=virtual_address, dispatch_cycle=cycle)
+        self._entries[tag] = entry
+        self.stats.add("lq.allocate")
+        return entry
+
+    def mark_issued(self, tag: Any, cycle: int) -> None:
+        """Record the cycle in which the load was sent to the L1 interface."""
+        self._entries[tag].issue_cycle = cycle
+
+    def mark_complete(self, tag: Any, cycle: int) -> None:
+        """Record the cycle in which the load's data returned."""
+        entry = self._entries[tag]
+        entry.complete_cycle = cycle
+        if entry.latency is not None:
+            self.stats.add("lq.total_latency", entry.latency)
+            self.stats.add("lq.completed")
+
+    def release(self, tag: Any) -> None:
+        """Remove a committed load from the queue."""
+        self._entries.pop(tag, None)
+
+    def get(self, tag: Any) -> Optional[LoadQueueEntry]:
+        """Entry for ``tag`` (``None`` if not present)."""
+        return self._entries.get(tag)
+
+    def outstanding(self) -> List[LoadQueueEntry]:
+        """All loads whose data has not returned yet."""
+        return [entry for entry in self._entries.values() if entry.complete_cycle is None]
+
+    @property
+    def average_latency(self) -> float:
+        """Mean issue-to-completion latency of completed loads."""
+        return self.stats.ratio("lq.total_latency", "lq.completed")

@@ -1,0 +1,144 @@
+"""Merge buffer: coalesces committed stores before they reach the L1.
+
+Committed stores move from the store buffer into the merge buffer (MB, 4
+entries in Table II).  Stores to the same cache line merge into one entry, so
+the number of L1 write accesses is reduced.  When the buffer is full the
+oldest entry is evicted and becomes a *merge buffer entry* (MBE) travelling
+to the cache — through the Input Buffer in MALEC (lowest priority, not time
+critical) or directly through a cache port in the baselines.
+
+Loads must also search the MB, since it can hold data newer than the cache;
+MALEC uses the same split (shared page-id + narrow offset) lookup structure
+as for the store buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.stats import StatCounters
+
+
+@dataclass
+class MergeBufferEntry:
+    """One cache line's worth of merged, committed store data."""
+
+    line_address: int
+    store_count: int = 1
+    dirty_bytes: int = 0
+    allocation_cycle: int = 0
+
+
+class MergeBuffer:
+    """Fixed-capacity, line-granular write-combining buffer."""
+
+    def __init__(
+        self,
+        entries: int = 4,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        stats: Optional[StatCounters] = None,
+    ) -> None:
+        if entries <= 0:
+            raise ValueError("the merge buffer needs at least one entry")
+        self.entries = entries
+        self.layout = layout
+        self.stats = stats if stats is not None else StatCounters()
+        self._entries: List[MergeBufferEntry] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of lines currently buffered."""
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when an incoming store to a new line would force an eviction."""
+        return len(self._entries) >= self.entries
+
+    def _find(self, line_address: int) -> Optional[MergeBufferEntry]:
+        for entry in self._entries:
+            if entry.line_address == line_address:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+    def commit_store(
+        self, virtual_address: int, size: int = 4, cycle: int = 0
+    ) -> Optional[MergeBufferEntry]:
+        """Place a committed store into the buffer.
+
+        Returns the evicted :class:`MergeBufferEntry` when the buffer had to
+        make room (the caller forwards it to the cache / Input Buffer), or
+        ``None`` when the store merged or a free slot existed.
+        """
+        line_address = self.layout.line_address(virtual_address)
+        existing = self._find(line_address)
+        if existing is not None:
+            existing.store_count += 1
+            existing.dirty_bytes += size
+            self.stats.add("mb.merged_store")
+            return None
+
+        evicted: Optional[MergeBufferEntry] = None
+        if self.full:
+            evicted = self._entries.pop(0)
+            self.stats.add("mb.eviction")
+        self._entries.append(
+            MergeBufferEntry(
+                line_address=line_address,
+                store_count=1,
+                dirty_bytes=size,
+                allocation_cycle=cycle,
+            )
+        )
+        self.stats.add("mb.allocate")
+        return evicted
+
+    def pop_oldest(self) -> Optional[MergeBufferEntry]:
+        """Explicitly evict the oldest entry (used when draining the buffer)."""
+        if not self._entries:
+            return None
+        self.stats.add("mb.eviction")
+        return self._entries.pop(0)
+
+    def drain(self) -> List[MergeBufferEntry]:
+        """Remove and return every entry (end-of-simulation flush)."""
+        drained = self._entries
+        self._entries = []
+        if drained:
+            self.stats.add("mb.drain", len(drained))
+        return drained
+
+    # ------------------------------------------------------------------
+    # Load lookups
+    # ------------------------------------------------------------------
+    def lookup(self, virtual_address: int, split: bool = False) -> Optional[MergeBufferEntry]:
+        """Search the buffer for the line containing ``virtual_address``.
+
+        ``split`` selects MALEC's shared-page + narrow-offset lookup (the
+        shared part is charged via :meth:`charge_shared_page_lookup`).
+        """
+        if split:
+            self.stats.add("mb.lookup_offset")
+        else:
+            self.stats.add("mb.lookup_full")
+        entry = self._find(self.layout.line_address(virtual_address))
+        if entry is not None:
+            self.stats.add("mb.forward_hit")
+        return entry
+
+    def charge_shared_page_lookup(self) -> None:
+        """Charge the per-cycle shared page-id comparison of the split structure."""
+        self.stats.add("mb.lookup_page_shared")
+
+    @property
+    def merge_rate(self) -> float:
+        """Fraction of committed stores that merged into an existing entry."""
+        merged = self.stats.get("mb.merged_store")
+        total = merged + self.stats.get("mb.allocate")
+        return merged / total if total else 0.0

@@ -1,0 +1,135 @@
+"""Store buffer with full-width and page-split lookup accounting.
+
+Stores that finish address computation enter the store buffer (SB, 24 entries
+in Table II) and remain there until they commit, at which point they move to
+the merge buffer.  Loads must search the SB for older overlapping stores so
+that speculatively buffered data can be forwarded.
+
+The baselines perform one full-width associative lookup per load.  MALEC
+splits the lookup structure into a shared page-id segment (one comparison per
+cycle, shared by the whole page group) and per-access narrow offset segments
+(Sec. IV); both are modelled and counted separately so their energies can be
+compared even though the paper excludes the SB from its final numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.stats import StatCounters
+
+
+@dataclass
+class StoreBufferEntry:
+    """A speculative store waiting to commit."""
+
+    tag: Any
+    virtual_address: int
+    size: int
+    cycle: int
+    committed: bool = False
+
+
+@dataclass
+class ForwardingResult:
+    """Result of a load's search of the store buffer."""
+
+    hit: bool
+    entry: Optional[StoreBufferEntry] = None
+
+
+class StoreBuffer:
+    """Fixed-capacity buffer of speculative stores in program order."""
+
+    def __init__(
+        self,
+        entries: int = 24,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        stats: Optional[StatCounters] = None,
+    ) -> None:
+        if entries <= 0:
+            raise ValueError("the store buffer needs at least one entry")
+        self.entries = entries
+        self.layout = layout
+        self.stats = stats if stats is not None else StatCounters()
+        self._entries: List[StoreBufferEntry] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of stores currently buffered."""
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no further store can be accepted."""
+        return len(self._entries) >= self.entries
+
+    def insert(self, tag: Any, virtual_address: int, size: int, cycle: int) -> StoreBufferEntry:
+        """Add a store that finished address computation."""
+        if self.full:
+            raise RuntimeError("store buffer overflow")
+        entry = StoreBufferEntry(tag=tag, virtual_address=virtual_address, size=size, cycle=cycle)
+        self._entries.append(entry)
+        self.stats.add("sb.insert")
+        return entry
+
+    # ------------------------------------------------------------------
+    # Load forwarding lookups
+    # ------------------------------------------------------------------
+    def _overlaps(self, entry: StoreBufferEntry, address: int, size: int) -> bool:
+        start_a, end_a = entry.virtual_address, entry.virtual_address + entry.size
+        start_b, end_b = address, address + size
+        return start_a < end_b and start_b < end_a
+
+    def lookup(self, address: int, size: int = 4, split: bool = False) -> ForwardingResult:
+        """Search for the youngest older store overlapping ``address``.
+
+        ``split`` selects MALEC's split lookup structure: the page-id segment
+        is shared by the page group (charged once per cycle via
+        :meth:`charge_shared_page_lookup`), so only the narrow offset segment
+        is charged here.  A full-width lookup is charged otherwise.
+        """
+        if split:
+            self.stats.add("sb.lookup_offset")
+        else:
+            self.stats.add("sb.lookup_full")
+        for entry in reversed(self._entries):
+            if self._overlaps(entry, address, size):
+                self.stats.add("sb.forward_hit")
+                return ForwardingResult(hit=True, entry=entry)
+        return ForwardingResult(hit=False)
+
+    def charge_shared_page_lookup(self) -> None:
+        """Charge the per-cycle shared page-id comparison of the split structure."""
+        self.stats.add("sb.lookup_page_shared")
+
+    # ------------------------------------------------------------------
+    # Commit path
+    # ------------------------------------------------------------------
+    def mark_committed(self, tag: Any) -> Optional[StoreBufferEntry]:
+        """Flag the store identified by ``tag`` as committed (ready for the MB)."""
+        for entry in self._entries:
+            if entry.tag == tag and not entry.committed:
+                entry.committed = True
+                return entry
+        return None
+
+    def pop_committed(self) -> Optional[StoreBufferEntry]:
+        """Remove and return the oldest committed store, if any."""
+        for index, entry in enumerate(self._entries):
+            if entry.committed:
+                self.stats.add("sb.drain")
+                return self._entries.pop(index)
+        return None
+
+    def flush_speculative(self) -> int:
+        """Drop all uncommitted stores (pipeline squash); returns the count."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.committed]
+        dropped = before - len(self._entries)
+        if dropped:
+            self.stats.add("sb.squashed", dropped)
+        return dropped

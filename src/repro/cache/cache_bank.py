@@ -1,0 +1,289 @@
+"""A single L1 data-cache bank.
+
+The L1 of the paper consists of four independent, single-ported, 4-way
+set-associative banks; consecutive cache lines are interleaved across banks
+so that a group of accesses to one page usually spreads over several banks
+and can be serviced in the same cycle.
+
+A bank exposes the two access modes of Sec. V:
+
+* ``conventional`` — all four tag arrays and all four data arrays are read in
+  parallel and the matching way's data is selected;
+* ``reduced`` — the requester already knows the way (from a way table or a
+  WDU) so the tag arrays are bypassed and exactly one data array is read.
+
+The bank counts the array-level events (``tag_read``, ``data_read``,
+``data_write`` …) that the energy model converts into joules, and tracks how
+many ports were used each cycle so that the single-ported restriction can be
+enforced by the interface models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.set_assoc import EvictionRecord, SetAssociativeArray
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.stats import StatCounters
+
+
+@dataclass
+class BankAccessResult:
+    """Outcome of a bank access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the line was present.
+    way:
+        Way that hit (or that was filled on a miss, once the fill happened).
+    reduced:
+        True when the access bypassed the tag arrays (way known and valid).
+    way_hint_wrong:
+        True when a supplied way hint did not match reality.  Page-Based Way
+        Determination guarantees hints are valid-or-unknown, so this should
+        stay zero for way tables; the counter exists to validate that claim
+        and to model less precise predictors.
+    evicted_line_address:
+        Line-granular physical address displaced by a fill, if any.
+    """
+
+    hit: bool
+    way: Optional[int] = None
+    reduced: bool = False
+    way_hint_wrong: bool = False
+    evicted_line_address: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class CacheBank:
+    """One single-ported, set-associative L1 bank.
+
+    Parameters
+    ----------
+    bank_index:
+        Position of this bank in the L1 (0..banks-1); used only for stats
+        naming and address reconstruction.
+    layout:
+        Shared address geometry.
+    read_ports / write_ports:
+        Number of read and write ports.  The MALEC and Base1ldst
+        configurations use 1 read/write port; Base2ld1st adds one read port
+        (Table I).  Port usage is tracked per cycle by the interface models.
+    stats:
+        Shared counters; events are prefixed with ``l1.``.
+    restrict_way_allocation:
+        When True, line fills avoid the "excluded" way of the 2-bit way-table
+        encoding (Sec. V) so every resident line is representable by the WT.
+    """
+
+    def __init__(
+        self,
+        bank_index: int,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        read_ports: int = 1,
+        write_ports: int = 1,
+        replacement: str = "lru",
+        seed: int = 0,
+        stats: Optional[StatCounters] = None,
+        restrict_way_allocation: bool = False,
+        on_evict: Optional[Callable[[int, int], None]] = None,
+        on_fill: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.bank_index = bank_index
+        self.layout = layout
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self.stats = stats if stats is not None else StatCounters()
+        self.restrict_way_allocation = restrict_way_allocation
+        self._on_evict = on_evict
+        self._on_fill = on_fill
+        self.array = SetAssociativeArray(
+            num_sets=layout.l1_sets_per_bank,
+            ways=layout.l1_associativity,
+            replacement=replacement,
+            seed=seed,
+            on_evict=self._handle_eviction,
+        )
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def _check_bank(self, physical_address: int) -> None:
+        if self.layout.bank_index(physical_address) != self.bank_index:
+            raise ValueError(
+                f"address {physical_address:#x} belongs to bank "
+                f"{self.layout.bank_index(physical_address)}, not {self.bank_index}"
+            )
+
+    def _line_address_from(self, set_index: int, tag: int) -> int:
+        """Rebuild the line-granular physical address of a stored line."""
+        line_number = (
+            (tag << (self.layout.bank_bits + self.layout.set_bits))
+            | (set_index << self.layout.bank_bits)
+            | self.bank_index
+        )
+        return self.layout.address_of_line(line_number)
+
+    def excluded_way_for(self, physical_address: int) -> Optional[int]:
+        """Way that the 2-bit way-table format cannot express for this line.
+
+        Sec. V: lines 0..3 of a page treat way 0 as "unknown", lines 4..7 way
+        1, and so on — i.e. the excluded way rotates with the line-in-page
+        index divided by the number of banks.
+        """
+        if not self.restrict_way_allocation:
+            return None
+        line_in_page = self.layout.line_in_page(physical_address)
+        return (line_in_page // self.layout.l1_banks) % self.layout.l1_associativity
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def _handle_eviction(self, record: EvictionRecord) -> None:
+        address = self._line_address_from(record.set_index, record.tag)
+        self.stats.add("l1.eviction")
+        if record.dirty:
+            self.stats.add("l1.writeback")
+        if self._on_evict is not None:
+            self._on_evict(address, record.way)
+
+    def lookup(self, physical_address: int, update_replacement: bool = True):
+        """Tag lookup only (no energy events); used by fills and tests."""
+        self._check_bank(physical_address)
+        set_index = self.layout.set_index(physical_address)
+        tag = self.layout.tag(physical_address)
+        return self.array.lookup(set_index, tag, update_replacement=update_replacement)
+
+    def read(
+        self,
+        physical_address: int,
+        way_hint: Optional[int] = None,
+        paired_subblock: bool = True,
+    ) -> BankAccessResult:
+        """Service a load.
+
+        ``way_hint`` is the way supplied by a way table or WDU; ``None`` means
+        unknown and forces a conventional access.  ``paired_subblock`` records
+        whether the data arrays return two adjacent sub-blocks (the MALEC
+        assumption that doubles merge opportunities); it only affects event
+        accounting, not hit/miss behaviour.
+        """
+        self._check_bank(physical_address)
+        set_index = self.layout.set_index(physical_address)
+        tag = self.layout.tag(physical_address)
+        ways = self.layout.l1_associativity
+
+        if way_hint is not None:
+            # Reduced access: tag arrays bypassed, single data array read.
+            line = self.array.line(set_index, way_hint)
+            self.stats.add("l1.ctrl")
+            self.stats.add("l1.data_read", 1)
+            self.stats.add("l1.reduced_access")
+            if paired_subblock:
+                self.stats.add("l1.subblock_pair_read")
+            if line.valid and line.tag == tag:
+                self.array.lookup(set_index, tag)  # refresh replacement state
+                return BankAccessResult(hit=True, way=way_hint, reduced=True)
+            # A wrong hint requires a second, conventional access; way tables
+            # never produce this (validity is tracked), but WDU-style
+            # predictors might.
+            self.stats.add("l1.way_hint_wrong")
+            result = self.read(physical_address, way_hint=None, paired_subblock=paired_subblock)
+            result.way_hint_wrong = True
+            return result
+
+        # Conventional access: all tag arrays and all data arrays probed.
+        self.stats.add("l1.ctrl")
+        self.stats.add("l1.tag_read", ways)
+        self.stats.add("l1.data_read", ways)
+        self.stats.add("l1.conventional_access")
+        if paired_subblock:
+            self.stats.add("l1.subblock_pair_read")
+        lookup = self.array.lookup(set_index, tag)
+        if lookup.hit:
+            return BankAccessResult(hit=True, way=lookup.way, reduced=False)
+        return BankAccessResult(hit=False, way=None, reduced=False)
+
+    def write(self, physical_address: int, way_hint: Optional[int] = None) -> BankAccessResult:
+        """Service a store (or merge-buffer eviction) that writes the cache.
+
+        Stores always need to know the correct way before writing; without a
+        hint the tag arrays are probed first, with a valid hint the probe is
+        skipped (reduced store).
+        """
+        self._check_bank(physical_address)
+        set_index = self.layout.set_index(physical_address)
+        tag = self.layout.tag(physical_address)
+        ways = self.layout.l1_associativity
+
+        if way_hint is not None:
+            line = self.array.line(set_index, way_hint)
+            if line.valid and line.tag == tag:
+                self.stats.add("l1.ctrl")
+                self.stats.add("l1.data_write", 1)
+                self.stats.add("l1.reduced_access")
+                self.array.mark_dirty(set_index, way_hint)
+                self.array.lookup(set_index, tag)
+                return BankAccessResult(hit=True, way=way_hint, reduced=True)
+            self.stats.add("l1.way_hint_wrong")
+
+        self.stats.add("l1.ctrl")
+        self.stats.add("l1.tag_read", ways)
+        self.stats.add("l1.conventional_access")
+        lookup = self.array.lookup(set_index, tag)
+        if lookup.hit:
+            self.stats.add("l1.data_write", 1)
+            self.array.mark_dirty(set_index, lookup.way)
+            return BankAccessResult(hit=True, way=lookup.way, reduced=False)
+        return BankAccessResult(hit=False, way=None, reduced=False)
+
+    def fill(self, physical_address: int, dirty: bool = False) -> BankAccessResult:
+        """Install the line containing ``physical_address`` after a miss."""
+        self._check_bank(physical_address)
+        set_index = self.layout.set_index(physical_address)
+        tag = self.layout.tag(physical_address)
+        excluded = self.excluded_way_for(physical_address)
+
+        evicted_address: Optional[int] = None
+        evicted_dirty = False
+        existing = self.array.lookup(set_index, tag, update_replacement=False)
+        if not existing.hit:
+            # Identify the would-be victim for reporting before the fill fires
+            # the eviction callback.
+            valid_mask = self.array.valid_mask(set_index)
+            if all(valid_mask):
+                pass  # an eviction will occur; details captured via callback
+        way, eviction = self.array.fill(
+            set_index, tag, dirty=dirty, excluded_way=excluded
+        )
+        if eviction is not None:
+            evicted_address = self._line_address_from(eviction.set_index, eviction.tag)
+            evicted_dirty = eviction.dirty
+        self.stats.add("l1.ctrl")
+        self.stats.add("l1.fill")
+        self.stats.add("l1.data_write", 1)
+        self.stats.add("l1.tag_write", 1)
+        if self._on_fill is not None:
+            self._on_fill(self.layout.line_address(physical_address), way)
+        return BankAccessResult(
+            hit=True,
+            way=way,
+            reduced=False,
+            evicted_line_address=evicted_address,
+            evicted_dirty=evicted_dirty,
+        )
+
+    def contains(self, physical_address: int) -> bool:
+        """True if the line holding ``physical_address`` is resident."""
+        return self.lookup(physical_address, update_replacement=False).hit
+
+    def way_of(self, physical_address: int) -> Optional[int]:
+        """Way currently holding ``physical_address`` or ``None``."""
+        result = self.lookup(physical_address, update_replacement=False)
+        return result.way if result.hit else None
+
+    def occupancy(self) -> int:
+        """Number of valid lines in this bank."""
+        return self.array.occupancy()

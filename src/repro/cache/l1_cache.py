@@ -1,0 +1,223 @@
+"""Banked L1 data cache.
+
+The L1 data cache of Table II: 32 KByte, 4-way set-associative, 64-byte
+lines, physically indexed / physically tagged, four independent single-ported
+banks with 128-bit sub-blocked data arrays, 2-cycle access latency (1- and
+3-cycle variants are explored in Sec. VI).
+
+The cache itself is deliberately unmodified by MALEC ("to allow the re-use of
+existing, highly optimized designs"); the interface in front of it decides
+which accesses reach which bank in a given cycle and whether they carry way
+hints.  Misses are serviced by the L2/DRAM hierarchy; line fills and
+evictions invoke registered listeners so that way tables (and the WDU) can
+keep their validity bits coherent, exactly as Sec. V requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cache.cache_bank import BankAccessResult, CacheBank
+from repro.cache.l2_cache import L2Cache
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.stats import StatCounters
+
+#: Signature of fill/evict listeners: (line_physical_address, way)
+LineListener = Callable[[int, int], None]
+
+
+@dataclass
+class L1AccessOutcome:
+    """Result of a complete L1 access, including miss handling.
+
+    Attributes
+    ----------
+    hit:
+        True when the access hit in the L1.
+    way:
+        Way holding the line after the access (filled way on a miss).
+    latency:
+        Total latency in cycles, including L2/DRAM time on a miss.
+    reduced:
+        True when the access used the reduced (tag-bypassed) mode.
+    bank:
+        Bank index that serviced the access.
+    way_hint_wrong:
+        True when a supplied hint turned out to be wrong (never for WTs).
+    """
+
+    hit: bool
+    way: Optional[int]
+    latency: int
+    reduced: bool
+    bank: int
+    way_hint_wrong: bool = False
+
+
+class L1DataCache:
+    """Four-bank L1 data cache with miss handling and fill/evict listeners."""
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        hit_latency: int = 2,
+        read_ports_per_bank: int = 1,
+        write_ports_per_bank: int = 1,
+        replacement: str = "lru",
+        restrict_way_allocation: bool = False,
+        l2: Optional[L2Cache] = None,
+        stats: Optional[StatCounters] = None,
+        seed: int = 0,
+    ) -> None:
+        self.layout = layout
+        self.hit_latency = hit_latency
+        self.stats = stats if stats is not None else StatCounters()
+        self.l2 = l2 if l2 is not None else L2Cache(layout=layout, stats=self.stats, seed=seed)
+        self._fill_listeners: List[LineListener] = []
+        self._evict_listeners: List[LineListener] = []
+        self.banks: List[CacheBank] = [
+            CacheBank(
+                bank_index=index,
+                layout=layout,
+                read_ports=read_ports_per_bank,
+                write_ports=write_ports_per_bank,
+                replacement=replacement,
+                seed=seed + index,
+                stats=self.stats,
+                restrict_way_allocation=restrict_way_allocation,
+                on_evict=self._notify_evict,
+                on_fill=self._notify_fill,
+            )
+            for index in range(layout.l1_banks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Listener plumbing (keeps way tables / WDU coherent with the cache)
+    # ------------------------------------------------------------------
+    def add_fill_listener(self, listener: LineListener) -> None:
+        """Register a callback invoked as ``listener(line_address, way)`` on fills."""
+        self._fill_listeners.append(listener)
+
+    def add_evict_listener(self, listener: LineListener) -> None:
+        """Register a callback invoked as ``listener(line_address, way)`` on evictions."""
+        self._evict_listeners.append(listener)
+
+    def _notify_fill(self, line_address: int, way: int) -> None:
+        for listener in self._fill_listeners:
+            listener(line_address, way)
+
+    def _notify_evict(self, line_address: int, way: int) -> None:
+        for listener in self._evict_listeners:
+            listener(line_address, way)
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def bank_for(self, physical_address: int) -> CacheBank:
+        """Bank that owns ``physical_address``."""
+        return self.banks[self.layout.bank_index(physical_address)]
+
+    def load(
+        self,
+        physical_address: int,
+        way_hint: Optional[int] = None,
+        allocate_on_miss: bool = True,
+    ) -> L1AccessOutcome:
+        """Service a load, handling the miss path through L2/DRAM."""
+        bank = self.bank_for(physical_address)
+        self.stats.add("l1.load")
+        result = bank.read(physical_address, way_hint=way_hint)
+        if result.hit:
+            self.stats.add("l1.load_hit")
+            return L1AccessOutcome(
+                hit=True,
+                way=result.way,
+                latency=self.hit_latency,
+                reduced=result.reduced,
+                bank=bank.bank_index,
+                way_hint_wrong=result.way_hint_wrong,
+            )
+
+        self.stats.add("l1.load_miss")
+        miss_latency = self.l2.access(physical_address, is_write=False)
+        way: Optional[int] = None
+        if allocate_on_miss:
+            fill = bank.fill(physical_address, dirty=False)
+            way = fill.way
+            if fill.evicted_dirty:
+                self.l2.access(fill.evicted_line_address, is_write=True)
+        return L1AccessOutcome(
+            hit=False,
+            way=way,
+            latency=self.hit_latency + miss_latency,
+            reduced=False,
+            bank=bank.bank_index,
+            way_hint_wrong=result.way_hint_wrong,
+        )
+
+    def store(
+        self,
+        physical_address: int,
+        way_hint: Optional[int] = None,
+        allocate_on_miss: bool = True,
+    ) -> L1AccessOutcome:
+        """Service a store (write-allocate, write-back)."""
+        bank = self.bank_for(physical_address)
+        self.stats.add("l1.store")
+        result = bank.write(physical_address, way_hint=way_hint)
+        if result.hit:
+            self.stats.add("l1.store_hit")
+            return L1AccessOutcome(
+                hit=True,
+                way=result.way,
+                latency=self.hit_latency,
+                reduced=result.reduced,
+                bank=bank.bank_index,
+                way_hint_wrong=result.way_hint_wrong,
+            )
+
+        self.stats.add("l1.store_miss")
+        miss_latency = self.l2.access(physical_address, is_write=False)
+        way: Optional[int] = None
+        if allocate_on_miss:
+            fill = bank.fill(physical_address, dirty=True)
+            way = fill.way
+            self.stats.add("l1.data_write", 1)
+            if fill.evicted_dirty:
+                self.l2.access(fill.evicted_line_address, is_write=True)
+        return L1AccessOutcome(
+            hit=False,
+            way=way,
+            latency=self.hit_latency + miss_latency,
+            reduced=False,
+            bank=bank.bank_index,
+            way_hint_wrong=result.way_hint_wrong,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def contains(self, physical_address: int) -> bool:
+        """True if the line is resident in the L1."""
+        return self.bank_for(physical_address).contains(physical_address)
+
+    def way_of(self, physical_address: int) -> Optional[int]:
+        """Way currently holding the line, or ``None``."""
+        return self.bank_for(physical_address).way_of(physical_address)
+
+    def occupancy(self) -> int:
+        """Number of valid lines across all banks."""
+        return sum(bank.occupancy() for bank in self.banks)
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Fraction of loads that missed so far."""
+        return self.stats.ratio("l1.load_miss", "l1.load")
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of all L1 accesses (loads and stores) that missed so far."""
+        misses = self.stats.total("l1.load_miss", "l1.store_miss")
+        accesses = self.stats.total("l1.load", "l1.store")
+        return misses / accesses if accesses else 0.0

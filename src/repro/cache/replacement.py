@@ -1,0 +1,210 @@
+"""Replacement policies for set-associative structures.
+
+The reproduction needs several policies:
+
+* **LRU** for the L1 data cache and L2 (a common, deterministic default).
+* **Tree-PLRU** as a cheaper alternative used in ablations.
+* **Random** for the main TLB (Sec. V: "random replacement for the TLB").
+* **Second chance** for the uTLB (Sec. V chooses it specifically to reduce
+  the number of full uWT→WT entry transfers on eviction).
+
+All policies operate on way indices of a single set and are owned by that
+set's container; they do not know about addresses.  The L1 additionally
+supports *excluded ways*: Page-Based Way Determination encodes way+validity
+in 2 bits by declaring one specific way per line group "unknown" (Sec. V), so
+the cache may be asked to avoid allocating a line into its excluded way.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection and usage tracking for one set of ``ways`` ways."""
+
+    def __init__(self, ways: int) -> None:
+        if ways <= 0:
+            raise ValueError("a set needs at least one way")
+        self.ways = ways
+
+    @abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit/use of ``way``."""
+
+    @abstractmethod
+    def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        """Choose a way to evict/fill.
+
+        Parameters
+        ----------
+        valid_mask:
+            ``valid_mask[w]`` is ``True`` when way ``w`` currently holds a
+            valid line.  Invalid ways are always preferred as victims.
+        excluded_way:
+            Optional way that must not be chosen (used by the 2-bit way-table
+            encoding restriction).  If every allowed way is invalid-free and
+            only the excluded way would remain, the exclusion is honoured by
+            picking an allowed valid way instead.
+        """
+
+    def _check_way(self, way: int) -> None:
+        if way < 0 or way >= self.ways:
+            raise ValueError(f"way {way} outside 0..{self.ways - 1}")
+
+    def _candidates(
+        self, valid_mask: Sequence[bool], excluded_way: Optional[int]
+    ) -> List[int]:
+        """Ways eligible for victimisation, preferring invalid ways."""
+        if len(valid_mask) != self.ways:
+            raise ValueError("valid_mask length must equal the number of ways")
+        allowed = [w for w in range(self.ways) if w != excluded_way]
+        if not allowed:
+            raise ValueError("cannot exclude every way of a set")
+        invalid = [w for w in allowed if not valid_mask[w]]
+        return invalid if invalid else allowed
+
+
+class LRUReplacement(ReplacementPolicy):
+    """True least-recently-used replacement using an explicit recency stack."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        # Most-recently-used first.
+        self._stack: List[int] = list(range(ways))
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._stack.remove(way)
+        self._stack.insert(0, way)
+
+    def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        candidates = set(self._candidates(valid_mask, excluded_way))
+        # Walk from least- to most-recently used and return the first candidate.
+        for way in reversed(self._stack):
+            if way in candidates:
+                return way
+        raise RuntimeError("LRU stack lost track of ways")  # pragma: no cover
+
+
+class TreePLRUReplacement(ReplacementPolicy):
+    """Tree pseudo-LRU (binary decision tree), the classic low-cost policy."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError("tree-PLRU requires a power-of-two number of ways")
+        self._bits = [False] * max(ways - 1, 1)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        node = 0
+        size = self.ways
+        while size > 1:
+            half = size // 2
+            go_right = way >= half
+            # Point the bit away from the touched way.
+            self._bits[node] = not go_right
+            node = 2 * node + (2 if go_right else 1)
+            way -= half if go_right else 0
+            size = half
+
+    def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        candidates = self._candidates(valid_mask, excluded_way)
+        if len(candidates) == 1:
+            return candidates[0]
+        # Follow the tree; if the pointed-to way is not a candidate fall back
+        # to the lowest-numbered candidate (keeps the policy deterministic).
+        node = 0
+        base = 0
+        size = self.ways
+        while size > 1:
+            half = size // 2
+            go_right = self._bits[node]
+            node = 2 * node + (2 if go_right else 1)
+            base += half if go_right else 0
+            size = half
+        return base if base in candidates else candidates[0]
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniformly random victim selection with a private, seedable RNG."""
+
+    def __init__(self, ways: int, seed: int = 0) -> None:
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+
+    def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        return self._rng.choice(self._candidates(valid_mask, excluded_way))
+
+
+class SecondChanceReplacement(ReplacementPolicy):
+    """Second-chance (clock) replacement.
+
+    Each way carries a reference bit which is set on use.  The clock hand
+    sweeps the ways; a way with its bit set gets a second chance (bit cleared,
+    hand advances), the first way found with a clear bit is evicted.  The
+    paper uses this for the uTLB because it tends to keep recently re-used
+    pages resident, which limits the number of uWT/WT entry transfers.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._referenced = [False] * ways
+        self._hand = 0
+
+    def touch(self, way: int) -> None:
+        self._check_way(way)
+        self._referenced[way] = True
+
+    def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        candidates = set(self._candidates(valid_mask, excluded_way))
+        # Invalid candidates need no sweep.
+        for way in sorted(candidates):
+            if not valid_mask[way]:
+                return way
+        # Sweep at most two full revolutions: one to clear bits, one to pick.
+        for _ in range(2 * self.ways):
+            way = self._hand
+            self._hand = (self._hand + 1) % self.ways
+            if way not in candidates:
+                continue
+            if self._referenced[way]:
+                self._referenced[way] = False
+                continue
+            return way
+        # All candidates were repeatedly referenced; fall back to clock order.
+        for way in range(self.ways):  # pragma: no cover - defensive
+            candidate = (self._hand + way) % self.ways
+            if candidate in candidates:
+                return candidate
+        raise RuntimeError("no victim found")  # pragma: no cover
+
+
+_POLICIES = {
+    "lru": LRUReplacement,
+    "plru": TreePLRUReplacement,
+    "random": RandomReplacement,
+    "second_chance": SecondChanceReplacement,
+}
+
+
+def make_replacement_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory used by configuration code.
+
+    ``name`` is one of ``lru``, ``plru``, ``random`` or ``second_chance``.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from exc
+    if cls is RandomReplacement:
+        return cls(ways, seed=seed)
+    return cls(ways)

@@ -1,0 +1,228 @@
+"""Generic set-associative storage array.
+
+:class:`SetAssociativeArray` implements the bookkeeping shared by the L1
+banks, the L2 cache and (as a degenerate fully-associative case) the TLBs:
+tag match, fill with victim selection, eviction and explicit invalidation.
+It stores *metadata only* — the reproduction is a timing/energy model, so no
+actual data bytes are kept, only tags, validity, dirtiness and an optional
+opaque payload (used e.g. by the TLB to hold translations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass
+class CacheLineState:
+    """State of a single way within a set."""
+
+    valid: bool = False
+    dirty: bool = False
+    tag: int = 0
+    payload: Any = None
+
+    def reset(self) -> None:
+        """Invalidate the line and clear its payload."""
+        self.valid = False
+        self.dirty = False
+        self.tag = 0
+        self.payload = None
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a tag lookup in one set."""
+
+    hit: bool
+    way: Optional[int] = None
+    line: Optional[CacheLineState] = None
+
+
+@dataclass
+class EvictionRecord:
+    """Description of a line displaced by a fill."""
+
+    set_index: int
+    way: int
+    tag: int
+    dirty: bool
+    payload: Any = None
+
+
+class SetAssociativeArray:
+    """A set-associative array of ``num_sets`` sets with ``ways`` ways each.
+
+    Parameters
+    ----------
+    num_sets:
+        Number of sets (1 gives a fully-associative structure).
+    ways:
+        Associativity.
+    replacement:
+        Replacement policy name understood by
+        :func:`repro.cache.replacement.make_replacement_policy`.
+    seed:
+        Seed forwarded to stochastic replacement policies.
+    on_evict:
+        Optional callback invoked with an :class:`EvictionRecord` whenever a
+        valid line is displaced or invalidated.  The L1 uses it to keep the
+        way tables coherent (Sec. V: validity bits are reset on evictions).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        replacement: str = "lru",
+        seed: int = 0,
+        on_evict: Optional[Callable[[EvictionRecord], None]] = None,
+    ) -> None:
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.on_evict = on_evict
+        self._sets: List[List[CacheLineState]] = [
+            [CacheLineState() for _ in range(ways)] for _ in range(num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_replacement_policy(replacement, ways, seed=seed + index)
+            for index in range(num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _check_set(self, set_index: int) -> None:
+        if set_index < 0 or set_index >= self.num_sets:
+            raise ValueError(f"set index {set_index} outside 0..{self.num_sets - 1}")
+
+    def lookup(self, set_index: int, tag: int, update_replacement: bool = True) -> LookupResult:
+        """Search ``set_index`` for ``tag``; optionally record the use."""
+        self._check_set(set_index)
+        for way, line in enumerate(self._sets[set_index]):
+            if line.valid and line.tag == tag:
+                if update_replacement:
+                    self._policies[set_index].touch(way)
+                return LookupResult(hit=True, way=way, line=line)
+        return LookupResult(hit=False)
+
+    def probe(self, set_index: int, tag: int) -> LookupResult:
+        """Lookup without disturbing replacement state (used by tests/tools)."""
+        return self.lookup(set_index, tag, update_replacement=False)
+
+    def line(self, set_index: int, way: int) -> CacheLineState:
+        """Direct access to the state of one way."""
+        self._check_set(set_index)
+        if way < 0 or way >= self.ways:
+            raise ValueError(f"way {way} outside 0..{self.ways - 1}")
+        return self._sets[set_index][way]
+
+    def valid_mask(self, set_index: int) -> List[bool]:
+        """Validity of each way in ``set_index``."""
+        self._check_set(set_index)
+        return [line.valid for line in self._sets[set_index]]
+
+    def occupancy(self) -> int:
+        """Total number of valid lines across the whole array."""
+        return sum(
+            1 for ways in self._sets for line in ways if line.valid
+        )
+
+    def valid_tags(self, set_index: int) -> List[int]:
+        """Tags of all valid lines in a set (helper for invariants in tests)."""
+        self._check_set(set_index)
+        return [line.tag for line in self._sets[set_index] if line.valid]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def fill(
+        self,
+        set_index: int,
+        tag: int,
+        payload: Any = None,
+        dirty: bool = False,
+        excluded_way: Optional[int] = None,
+        preferred_way: Optional[int] = None,
+    ) -> tuple[int, Optional[EvictionRecord]]:
+        """Insert ``tag`` into ``set_index`` and return ``(way, eviction)``.
+
+        If the tag is already present its payload/dirtiness are refreshed in
+        place.  Otherwise a victim is chosen (honouring ``excluded_way`` and
+        ``preferred_way``) and, if it held a valid line, an
+        :class:`EvictionRecord` is produced and the ``on_evict`` callback
+        fired.
+        """
+        self._check_set(set_index)
+        existing = self.lookup(set_index, tag, update_replacement=True)
+        if existing.hit:
+            line = existing.line
+            line.payload = payload if payload is not None else line.payload
+            line.dirty = line.dirty or dirty
+            return existing.way, None
+
+        policy = self._policies[set_index]
+        if preferred_way is not None:
+            if preferred_way == excluded_way:
+                raise ValueError("preferred way conflicts with excluded way")
+            way = preferred_way
+        else:
+            way = policy.victim(self.valid_mask(set_index), excluded_way=excluded_way)
+        line = self._sets[set_index][way]
+
+        eviction: Optional[EvictionRecord] = None
+        if line.valid:
+            eviction = EvictionRecord(
+                set_index=set_index,
+                way=way,
+                tag=line.tag,
+                dirty=line.dirty,
+                payload=line.payload,
+            )
+            if self.on_evict is not None:
+                self.on_evict(eviction)
+
+        line.valid = True
+        line.tag = tag
+        line.dirty = dirty
+        line.payload = payload
+        policy.touch(way)
+        return way, eviction
+
+    def mark_dirty(self, set_index: int, way: int) -> None:
+        """Set the dirty bit of an existing valid line."""
+        line = self.line(set_index, way)
+        if not line.valid:
+            raise ValueError("cannot mark an invalid line dirty")
+        line.dirty = True
+
+    def invalidate(self, set_index: int, tag: int) -> bool:
+        """Invalidate ``tag`` if present; returns ``True`` when a line was dropped."""
+        result = self.lookup(set_index, tag, update_replacement=False)
+        if not result.hit:
+            return False
+        line = result.line
+        record = EvictionRecord(
+            set_index=set_index,
+            way=result.way,
+            tag=line.tag,
+            dirty=line.dirty,
+            payload=line.payload,
+        )
+        line.reset()
+        if self.on_evict is not None:
+            self.on_evict(record)
+        return True
+
+    def invalidate_all(self) -> None:
+        """Invalidate every line without firing eviction callbacks."""
+        for ways in self._sets:
+            for line in ways:
+                line.reset()

@@ -1,0 +1,193 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Three sub-commands cover the common workflows without writing any Python:
+
+``compare``
+    Run one benchmark through a chosen set of configurations and print
+    normalized execution time and energy (the quickstart as a command).
+
+``figure4``
+    Sweep the five Fig. 4 configurations over one or more benchmarks and
+    print the per-benchmark and geometric-mean normalized results.
+
+``locality``
+    Print the Sec. III / Fig. 1 page- and line-locality statistics of one or
+    more benchmarks.
+
+Examples::
+
+    python -m repro compare gzip
+    python -m repro figure4 gzip djpeg mcf --instructions 4000
+    python -m repro locality h263dec swim
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import ExperimentRunner
+from repro.analysis.locality import PageLocalityAnalyzer
+from repro.analysis.reporting import format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import run_configuration
+from repro.workloads.suites import ALL_BENCHMARKS, benchmark_profile
+from repro.workloads.synthetic import generate_trace
+
+_FIG4_ORDER = ["Base1ldst", "Base2ld1st_1cycleL1", "Base2ld1st", "MALEC", "MALEC_3cycleL1"]
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=5000,
+        help="dynamic instructions per benchmark trace (default: 5000)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=0.3,
+        help="fraction of the trace used to warm caches/TLBs (default: 0.3)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'MALEC: A Multiple Access Low Energy Cache' (DATE 2013)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compare = commands.add_parser(
+        "compare", help="compare the three interfaces on one benchmark"
+    )
+    compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    _add_common_options(compare)
+
+    figure4 = commands.add_parser(
+        "figure4", help="run the five Fig. 4 configurations over benchmarks"
+    )
+    figure4.add_argument("benchmarks", nargs="+", choices=sorted(ALL_BENCHMARKS))
+    _add_common_options(figure4)
+
+    locality = commands.add_parser(
+        "locality", help="print Sec. III / Fig. 1 locality statistics"
+    )
+    locality.add_argument("benchmarks", nargs="+", choices=sorted(ALL_BENCHMARKS))
+    locality.add_argument("--instructions", type=int, default=5000)
+
+    commands.add_parser("list", help="list the available benchmark profiles")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_list() -> int:
+    rows = []
+    for name in ALL_BENCHMARKS:
+        profile = benchmark_profile(name)
+        rows.append([name, profile.suite, profile.memory_fraction, len(profile.streams)])
+    print(format_table(["benchmark", "suite", "mem fraction", "streams"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = generate_trace(benchmark_profile(args.benchmark), instructions=args.instructions)
+    configurations = [
+        SimulationConfig.base_1ldst(),
+        SimulationConfig.base_2ld1st(),
+        SimulationConfig.malec(),
+    ]
+    baseline = None
+    rows = []
+    for config in configurations:
+        result = run_configuration(config, trace, warmup_fraction=args.warmup)
+        if baseline is None:
+            baseline = result
+        rows.append(
+            [
+                config.name,
+                result.cycles,
+                result.cycles / baseline.cycles,
+                result.energy.total_pj / baseline.energy.total_pj,
+                result.way_coverage,
+                result.merged_load_fraction,
+            ]
+        )
+    print(f"benchmark: {args.benchmark} ({args.instructions} instructions)")
+    print(
+        format_table(
+            ["configuration", "cycles", "norm. time", "norm. energy", "coverage", "merged"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(
+        instructions=args.instructions,
+        benchmarks=args.benchmarks,
+        warmup_fraction=args.warmup,
+    )
+    results = runner.run(SimulationConfig.figure4_suite())
+    rows = []
+    for run in results.runs:
+        cycles = run.normalized_cycles("Base1ldst")
+        energy = run.normalized_energy("Base1ldst")
+        rows.append(
+            [run.benchmark]
+            + [cycles[name] for name in _FIG4_ORDER]
+            + [energy["MALEC"]["total"]]
+        )
+    geomean = results.geomean_normalized_cycles("Base1ldst")
+    rows.append(["geo. mean"] + [geomean[name] for name in _FIG4_ORDER] + [
+        results.geomean_normalized_energy("Base1ldst")["MALEC"]
+    ])
+    print(
+        format_table(
+            ["benchmark"] + _FIG4_ORDER + ["MALEC energy"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_locality(args: argparse.Namespace) -> int:
+    analyzer = PageLocalityAnalyzer()
+    rows = []
+    for name in args.benchmarks:
+        trace = generate_trace(benchmark_profile(name), instructions=args.instructions)
+        loads = trace.load_addresses()
+        rows.append(
+            [name]
+            + [analyzer.same_page_follow_fraction(loads, n) for n in (0, 1, 2, 3)]
+            + [analyzer.same_line_follow_fraction(loads)]
+        )
+    print(
+        format_table(
+            ["benchmark", "<=0 interm.", "<=1", "<=2", "<=3", "same line"], rows
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure4":
+        return _cmd_figure4(args)
+    if args.command == "locality":
+        return _cmd_locality(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Memory access requests flowing through the L1 interface models.
+
+A :class:`MemoryAccessRequest` wraps one dynamic memory operation (a load, a
+store, or a merge-buffer entry being written back) on its way from address
+computation to the cache.  It carries the virtual address produced by the
+address-computation units, the physical address once translation has
+happened, and bookkeeping used by the Input Buffer and Arbitration Unit
+(priority, arrival cycle, merge parent).
+
+Interface models create requests from pipeline instructions; the ``tag``
+field carries an opaque reference back to whatever issued the request (a
+:class:`repro.cpu.instruction.MemoryInstruction` in full simulations, a bare
+integer in unit tests).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+
+_request_ids = itertools.count()
+
+
+class AccessKind(enum.Enum):
+    """Type of memory access serviced by the L1 interface."""
+
+    LOAD = "load"
+    STORE = "store"
+    #: A merge-buffer entry evicted towards the cache (a committed store
+    #: group); never time critical (Sec. IV).
+    MBE = "mbe"
+
+
+@dataclass
+class MemoryAccessRequest:
+    """One in-flight memory access.
+
+    Attributes
+    ----------
+    kind:
+        Load, store or merge-buffer eviction.
+    virtual_address:
+        Address produced by address computation.
+    size:
+        Access width in bytes (informational).
+    arrival_cycle:
+        Cycle in which address computation finished.
+    tag:
+        Opaque reference back to the issuing instruction.
+    physical_address:
+        Filled in once the translation for the request's page is available.
+    way_hint:
+        Way supplied by the way tables / WDU (``None`` = unknown).
+    merged_into:
+        When this load was merged with an earlier load to the same line, the
+        request that actually accessed the cache.
+    """
+
+    kind: AccessKind
+    virtual_address: int
+    size: int = 4
+    arrival_cycle: int = 0
+    tag: Any = None
+    layout: AddressLayout = DEFAULT_LAYOUT
+    physical_address: Optional[int] = None
+    way_hint: Optional[int] = None
+    merged_into: Optional["MemoryAccessRequest"] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used by the grouping / arbitration logic
+    # ------------------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        """True for demand loads (merge-buffer evictions are writes)."""
+        return self.kind is AccessKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores still travelling towards the store buffer."""
+        return self.kind is AccessKind.STORE
+
+    @property
+    def is_mbe(self) -> bool:
+        """True for merge-buffer entries being written back to the cache."""
+        return self.kind is AccessKind.MBE
+
+    @property
+    def virtual_page(self) -> int:
+        """Virtual page id of the access."""
+        return self.layout.page_id(self.virtual_address)
+
+    @property
+    def line_in_page(self) -> int:
+        """Line index within the page (the field the narrow comparators use)."""
+        return self.layout.line_in_page(self.virtual_address)
+
+    @property
+    def bank_index(self) -> int:
+        """L1 bank the access maps to (valid for both VA and PA since the
+        bank is selected from page-offset bits)."""
+        return self.layout.bank_index(self.virtual_address)
+
+    @property
+    def translated(self) -> bool:
+        """True once a physical address has been attached."""
+        return self.physical_address is not None
+
+    def attach_translation(self, physical_page: int) -> None:
+        """Fill in the physical address from a translated page id."""
+        offset = self.layout.page_offset(self.virtual_address)
+        self.physical_address = self.layout.compose(physical_page, offset)
+
+    def same_page_as(self, other: "MemoryAccessRequest") -> bool:
+        """True when both requests touch the same virtual page."""
+        return self.virtual_page == other.virtual_page
+
+    def same_line_as(self, other: "MemoryAccessRequest") -> bool:
+        """True when both requests touch the same cache line."""
+        return self.layout.same_line(self.virtual_address, other.virtual_address)
+
+    def same_subblock_pair_as(self, other: "MemoryAccessRequest") -> bool:
+        """True when both requests fall in the same aligned sub-block pair."""
+        return self.layout.same_page(self.virtual_address, other.virtual_address) and (
+            self.layout.same_subblock_pair(self.virtual_address, other.virtual_address)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"MemoryAccessRequest({self.kind.value}, va={self.virtual_address:#x}, "
+            f"id={self.request_id})"
+        )

@@ -1,0 +1,104 @@
+"""Dynamic instruction representation used by traces and the pipeline.
+
+A trace is a sequence of :class:`Instruction` objects in program order.  Only
+three kinds exist: loads, stores and opaque single-cycle compute operations.
+Dependencies are expressed as *backward distances* (``deps``): a value of
+``k`` means "this instruction consumes the result of the instruction ``k``
+positions earlier in the trace".  Distances keep traces relocatable (they can
+be sliced or concatenated) and are resolved to absolute sequence numbers by
+the pipeline at dispatch time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class InstructionKind(enum.Enum):
+    """The three instruction classes the memory-side pipeline distinguishes."""
+
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+
+
+@dataclass
+class Instruction:
+    """One dynamic instruction of a workload trace.
+
+    Attributes
+    ----------
+    kind:
+        Load, store or compute.
+    address:
+        Virtual address for memory operations; ``None`` for compute.
+    size:
+        Access width in bytes for memory operations.
+    deps:
+        Backward distances to producer instructions.  A load whose *address*
+        depends on an earlier load (pointer chasing, as in ``mcf``) carries
+        that load's distance here; a compute instruction consuming a load
+        result lists the load.  Distances that point before the start of the
+        trace are ignored at dispatch.
+    seq:
+        Absolute position in the trace; filled by the trace container.
+    """
+
+    kind: InstructionKind
+    address: Optional[int] = None
+    size: int = 4
+    deps: Tuple[int, ...] = field(default_factory=tuple)
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind in (InstructionKind.LOAD, InstructionKind.STORE):
+            if self.address is None:
+                raise ValueError(f"{self.kind.value} instructions need an address")
+            if self.size <= 0:
+                raise ValueError("memory accesses need a positive size")
+        for distance in self.deps:
+            if distance <= 0:
+                raise ValueError("dependency distances must be positive (backward)")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.kind is InstructionKind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.kind is InstructionKind.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.kind is not InstructionKind.COMPUTE
+
+    def producers(self) -> Tuple[int, ...]:
+        """Absolute sequence numbers of this instruction's producers.
+
+        Only meaningful once ``seq`` has been assigned; negative results
+        (producers before the trace start) are dropped.
+        """
+        if self.seq < 0:
+            raise ValueError("instruction sequence number not assigned yet")
+        return tuple(self.seq - d for d in self.deps if self.seq - d >= 0)
+
+
+def load(address: int, size: int = 4, deps: Tuple[int, ...] = ()) -> Instruction:
+    """Convenience constructor for a load instruction."""
+    return Instruction(kind=InstructionKind.LOAD, address=address, size=size, deps=deps)
+
+
+def store(address: int, size: int = 4, deps: Tuple[int, ...] = ()) -> Instruction:
+    """Convenience constructor for a store instruction."""
+    return Instruction(kind=InstructionKind.STORE, address=address, size=size, deps=deps)
+
+
+def compute(deps: Tuple[int, ...] = ()) -> Instruction:
+    """Convenience constructor for a compute instruction."""
+    return Instruction(kind=InstructionKind.COMPUTE, deps=deps)

@@ -1,0 +1,290 @@
+"""Cycle-level out-of-order pipeline driving an L1 interface model.
+
+The pipeline implements the processor-side behaviour the paper's evaluation
+depends on (Table II): a 168-entry ROB, 6-wide fetch/dispatch, 8-wide issue
+and in-order commit.  Memory instructions are handed to an *L1 interface
+model* (Base1ldst, Base2ld1st or MALEC) which owns the address-computation
+slots, the load/store/merge buffers, translation and the cache; the pipeline
+only sees per-cycle slot availability and load-completion notifications.
+
+The interface object must provide the following methods (duck-typed so the
+interface package does not need to import this module)::
+
+    begin_cycle(cycle)
+    can_accept_load() / can_accept_store()        -> bool
+    reserve_load_slot() / reserve_store_slot()    -> bool   (per-cycle slots)
+    submit_load(tag, address, size, cycle)
+    submit_store(tag, address, size, cycle)
+    commit_store(tag, cycle)
+    tick(cycle)  -> list[(tag, data_ready_cycle)]
+    finalize(cycle)                                (drain write buffers)
+
+Execution time is the cycle in which the last instruction commits, which is
+what Fig. 4a normalizes across configurations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cpu.instruction import Instruction, InstructionKind
+from repro.cpu.rob import ReorderBuffer, RobEntry
+from repro.stats import StatCounters
+
+
+@dataclass
+class PipelineParametersLite:
+    """Pipeline widths (Table II defaults); kept separate from sim config to
+    allow unit tests to build tiny pipelines."""
+
+    rob_entries: int = 168
+    fetch_width: int = 6
+    issue_width: int = 8
+    commit_width: int = 6
+    compute_latency: int = 1
+
+
+@dataclass
+class PipelineResult:
+    """Summary of one pipeline run."""
+
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    computes: int
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OutOfOrderPipeline:
+    """Dependency-driven, resource-limited out-of-order execution model."""
+
+    def __init__(
+        self,
+        interface,
+        params: PipelineParametersLite = PipelineParametersLite(),
+        stats: Optional[StatCounters] = None,
+        max_cycles: Optional[int] = None,
+    ) -> None:
+        self.interface = interface
+        self.params = params
+        self.stats = stats if stats is not None else StatCounters()
+        self.max_cycles = max_cycles
+        self.rob = ReorderBuffer(params.rob_entries)
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Iterable[Instruction]) -> PipelineResult:
+        """Execute ``trace`` to completion and return the cycle count."""
+        instructions = list(trace)
+        for seq, instruction in enumerate(instructions):
+            if instruction.seq < 0:
+                instruction.seq = seq
+        total = len(instructions)
+        if total == 0:
+            return PipelineResult(cycles=0, instructions=0, loads=0, stores=0, computes=0)
+
+        params = self.params
+        max_cycles = self.max_cycles or (200 * total + 100_000)
+
+        next_fetch = 0
+        committed = 0
+        cycle = 0
+        last_commit_cycle = 0
+
+        #: entries indexed by sequence number (only in-flight ones are kept)
+        in_flight: Dict[int, RobEntry] = {}
+        #: producer seq -> consumer entries waiting on it
+        consumers: Dict[int, List[RobEntry]] = {}
+        #: completed producer seqs (results available); kept until no longer needed
+        produced: set = set()
+        #: min-heap of ready-to-issue sequence numbers (oldest first)
+        ready_heap: List[int] = []
+        #: memory ops that were ready but found no slot this cycle
+        deferred: List[int] = []
+        #: min-heap of (completion_cycle, seq) events
+        completion_events: List[Tuple[int, int]] = []
+        #: stores must claim store-buffer entries in program order (as real
+        #: store queues allocate at dispatch); otherwise younger stores can
+        #: fill the SB and deadlock an older store at the ROB head.
+        store_order: List[int] = []
+        store_order_head = 0
+
+        loads = stores = computes = 0
+
+        while committed < total:
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"pipeline exceeded {max_cycles} cycles; likely deadlock "
+                    f"({committed}/{total} committed)"
+                )
+            self.interface.begin_cycle(cycle)
+
+            # ----------------------------------------------------------
+            # 1. Retire completion events scheduled for this cycle.
+            # ----------------------------------------------------------
+            while completion_events and completion_events[0][0] <= cycle:
+                _, seq = heapq.heappop(completion_events)
+                entry = in_flight.get(seq)
+                if entry is None or entry.completed:
+                    continue
+                self._complete(entry, cycle, produced, consumers, ready_heap)
+
+            # ----------------------------------------------------------
+            # 2. Issue ready instructions (oldest first, up to issue width).
+            # ----------------------------------------------------------
+            if deferred:
+                for seq in deferred:
+                    heapq.heappush(ready_heap, seq)
+                deferred = []
+            issued = 0
+            postponed: List[int] = []
+            loads_blocked = stores_blocked = False
+            while ready_heap and issued < params.issue_width:
+                seq = heapq.heappop(ready_heap)
+                entry = in_flight.get(seq)
+                if entry is None or entry.issued:
+                    continue
+                instruction = entry.instruction
+                if instruction.kind is InstructionKind.COMPUTE:
+                    entry.issued = True
+                    entry.issue_cycle = cycle
+                    heapq.heappush(
+                        completion_events, (cycle + params.compute_latency, seq)
+                    )
+                    issued += 1
+                elif instruction.is_load:
+                    if (
+                        not loads_blocked
+                        and self.interface.can_accept_load()
+                        and self.interface.reserve_load_slot()
+                    ):
+                        entry.issued = True
+                        entry.issue_cycle = cycle
+                        self.interface.submit_load(
+                            seq, instruction.address, instruction.size, cycle
+                        )
+                        issued += 1
+                    else:
+                        # Out of load slots this cycle: keep the load for the
+                        # next cycle but let younger compute work proceed.
+                        loads_blocked = True
+                        postponed.append(seq)
+                else:  # store
+                    in_store_order = (
+                        store_order_head < len(store_order)
+                        and store_order[store_order_head] == seq
+                    )
+                    if (
+                        not stores_blocked
+                        and in_store_order
+                        and self.interface.can_accept_store()
+                        and self.interface.reserve_store_slot()
+                    ):
+                        store_order_head += 1
+                        entry.issued = True
+                        entry.issue_cycle = cycle
+                        self.interface.submit_store(
+                            seq, instruction.address, instruction.size, cycle
+                        )
+                        # Stores produce no register value: they are complete
+                        # (for commit purposes) once their address is computed.
+                        heapq.heappush(completion_events, (cycle + 1, seq))
+                        issued += 1
+                    else:
+                        stores_blocked = True
+                        postponed.append(seq)
+            deferred.extend(postponed)
+            self.stats.add("pipeline.issued", issued)
+
+            # ----------------------------------------------------------
+            # 3. Advance the interface; schedule load completions.
+            # ----------------------------------------------------------
+            for tag, ready_cycle in self.interface.tick(cycle):
+                entry = in_flight.get(tag)
+                if entry is None or entry.completed:
+                    continue
+                heapq.heappush(completion_events, (max(ready_cycle, cycle + 1), tag))
+
+            # ----------------------------------------------------------
+            # 4. Commit in order.
+            # ----------------------------------------------------------
+            for entry in self.rob.commit_ready(params.commit_width):
+                committed += 1
+                last_commit_cycle = cycle
+                instruction = entry.instruction
+                if instruction.is_load:
+                    loads += 1
+                elif instruction.is_store:
+                    stores += 1
+                    self.interface.commit_store(instruction.seq, cycle)
+                else:
+                    computes += 1
+                in_flight.pop(instruction.seq, None)
+                consumers.pop(instruction.seq, None)
+            self.stats.add("pipeline.cycles")
+
+            # ----------------------------------------------------------
+            # 5. Fetch / dispatch into the ROB.
+            # ----------------------------------------------------------
+            fetched = 0
+            while (
+                fetched < params.fetch_width
+                and next_fetch < total
+                and not self.rob.full
+            ):
+                instruction = instructions[next_fetch]
+                entry = self.rob.dispatch(instruction, cycle)
+                in_flight[instruction.seq] = entry
+                if instruction.is_store:
+                    store_order.append(instruction.seq)
+                pending = 0
+                for producer in instruction.producers():
+                    if producer in produced or producer not in in_flight:
+                        continue
+                    consumers.setdefault(producer, []).append(entry)
+                    pending += 1
+                entry.pending_deps = pending
+                if pending == 0:
+                    heapq.heappush(ready_heap, instruction.seq)
+                next_fetch += 1
+                fetched += 1
+            self.stats.add("pipeline.dispatched", fetched)
+
+            cycle += 1
+
+        total_cycles = last_commit_cycle + 1
+        self.interface.finalize(total_cycles)
+        self.stats.set("pipeline.total_cycles", total_cycles)
+        self.stats.set("pipeline.committed", committed)
+        return PipelineResult(
+            cycles=total_cycles,
+            instructions=total,
+            loads=loads,
+            stores=stores,
+            computes=computes,
+        )
+
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        entry: RobEntry,
+        cycle: int,
+        produced: set,
+        consumers: Dict[int, List[RobEntry]],
+        ready_heap: List[int],
+    ) -> None:
+        """Mark an instruction complete and wake its consumers."""
+        entry.completed = True
+        entry.complete_cycle = cycle
+        seq = entry.instruction.seq
+        produced.add(seq)
+        for consumer in consumers.pop(seq, []):
+            consumer.pending_deps -= 1
+            if consumer.pending_deps == 0 and not consumer.issued:
+                heapq.heappush(ready_heap, consumer.instruction.seq)

@@ -1,0 +1,99 @@
+"""Reorder buffer.
+
+The ROB holds every dispatched, not-yet-committed instruction in program
+order (168 entries in Table II).  Instructions complete out of order but
+commit strictly in order, up to the commit width per cycle; the pipeline uses
+the ROB both as the dispatch window limiter and as the commit mechanism that
+defines the final execution time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.cpu.instruction import Instruction
+
+
+class RobEntry:
+    """Book-keeping for one in-flight instruction (slotted for speed)."""
+
+    __slots__ = (
+        "instruction",
+        "dispatch_cycle",
+        "issued",
+        "issue_cycle",
+        "completed",
+        "complete_cycle",
+        "pending_deps",
+    )
+
+    def __init__(self, instruction: Instruction, dispatch_cycle: int) -> None:
+        self.instruction = instruction
+        self.dispatch_cycle = dispatch_cycle
+        self.issued = False
+        self.issue_cycle: Optional[int] = None
+        self.completed = False
+        self.complete_cycle: Optional[int] = None
+        #: number of producers whose results are still outstanding
+        self.pending_deps = 0
+
+    @property
+    def seq(self) -> int:
+        """Program-order sequence number of the instruction."""
+        return self.instruction.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "done" if self.completed else ("issued" if self.issued else "waiting")
+        return f"RobEntry(seq={self.seq}, {self.instruction.kind.value}, {state})"
+
+
+class ReorderBuffer:
+    """Fixed-capacity, program-order window of in-flight instructions."""
+
+    def __init__(self, entries: int = 168) -> None:
+        if entries <= 0:
+            raise ValueError("the ROB needs at least one entry")
+        self.entries = entries
+        self._buffer: Deque[RobEntry] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of in-flight instructions."""
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        """True when dispatch must stall."""
+        return len(self._buffer) >= self.entries
+
+    @property
+    def empty(self) -> bool:
+        """True when no instruction is in flight."""
+        return not self._buffer
+
+    def dispatch(self, instruction: Instruction, cycle: int) -> RobEntry:
+        """Append an instruction at the ROB tail."""
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        entry = RobEntry(instruction, cycle)
+        self._buffer.append(entry)
+        return entry
+
+    def head(self) -> Optional[RobEntry]:
+        """Oldest in-flight instruction (next to commit), if any."""
+        return self._buffer[0] if self._buffer else None
+
+    def commit_ready(self, max_count: int) -> List[RobEntry]:
+        """Pop up to ``max_count`` completed instructions from the head."""
+        committed: List[RobEntry] = []
+        while self._buffer and len(committed) < max_count and self._buffer[0].completed:
+            committed.append(self._buffer.popleft())
+        return committed
+
+    def __iter__(self):
+        return iter(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,33 @@
+"""L1 data-cache interface models (Table I of the paper).
+
+Three interfaces between the out-of-order core and the L1 data cache are
+modelled, mirroring Table I:
+
+=============  =====================  =================  ==============
+configuration  addr. comp. per cycle  uTLB/TLB ports     cache ports
+=============  =====================  =================  ==============
+Base1ldst      1 ld *or* st           1 rd/wt            1 rd/wt
+Base2ld1st     2 ld + 1 st            1 rd/wt + 2 rd     1 rd/wt + 1 rd
+MALEC          1 ld + 2 ld/st         1 rd/wt            1 rd/wt
+=============  =====================  =================  ==============
+
+``Base1ldst`` is the energy-oriented baseline limited to a single memory
+access per cycle.  ``Base2ld1st`` is the performance-oriented baseline that
+adds physical multi-porting on top of cache banking (as in Sandy Bridge /
+Bulldozer class designs).  ``MALEC`` keeps single-ported structures and
+instead groups accesses by page (Sec. IV) and determines ways through page
+way tables (Sec. V).
+"""
+
+from repro.interfaces.base import BaseL1Interface, CompletedAccess
+from repro.interfaces.base_1ldst import BaselineSingleInterface
+from repro.interfaces.base_2ld1st import BaselineDualLoadInterface
+from repro.interfaces.malec import MalecInterface
+
+__all__ = [
+    "BaseL1Interface",
+    "CompletedAccess",
+    "BaselineSingleInterface",
+    "BaselineDualLoadInterface",
+    "MalecInterface",
+]

@@ -1,0 +1,262 @@
+"""Shared machinery of the L1 interface models.
+
+Every interface owns the structures that are identical across configurations
+(load queue, store buffer, merge buffer — Table I keeps their sizes and port
+counts equal for fairness), performs the store commit path (SB → MB → cache)
+and tracks per-cycle address-computation slot usage.  Subclasses implement
+the actual per-cycle servicing of loads and merge-buffer write-backs in
+:meth:`BaseL1Interface._service_cycle`.
+
+The pipeline talks to interfaces exclusively through the methods documented
+in :mod:`repro.cpu.pipeline`; the simulator additionally reads the interface's
+statistics and asks for its energy-model configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.buffers.load_queue import LoadQueue
+from repro.buffers.merge_buffer import MergeBuffer, MergeBufferEntry
+from repro.buffers.store_buffer import StoreBuffer
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatCounters
+from repro.tlb.tlb import TLBHierarchy
+
+#: (tag, data_ready_cycle) notification returned to the pipeline
+CompletedAccess = Tuple[Any, int]
+
+
+@dataclass
+class PendingLoad:
+    """A load waiting for (or undergoing) its cache access."""
+
+    tag: Any
+    virtual_address: int
+    size: int
+    submit_cycle: int
+
+
+@dataclass
+class PendingWriteback:
+    """A merge-buffer entry waiting for a cache write slot."""
+
+    virtual_line_address: int
+    physical_line_address: Optional[int] = None
+
+
+class BaseL1Interface(ABC):
+    """Common state and behaviour of the three interface models.
+
+    Parameters
+    ----------
+    hierarchy:
+        The L1/L2/DRAM hierarchy the interface accesses.
+    translation:
+        The uTLB/TLB hierarchy used for address translation.
+    stats:
+        Shared statistics collection (usually the hierarchy's).
+    load_slots / store_slots / flexible_slots:
+        Per-cycle address-computation slots: dedicated load slots, dedicated
+        store slots and slots usable by either kind (Table I).
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        translation: TLBHierarchy,
+        stats: Optional[StatCounters] = None,
+        load_slots: int = 1,
+        store_slots: int = 0,
+        flexible_slots: int = 0,
+        lq_entries: int = 40,
+        sb_entries: int = 24,
+        mb_entries: int = 4,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.translation = translation
+        self.layout = layout
+        self.stats = stats if stats is not None else hierarchy.stats
+        self.load_slots = load_slots
+        self.store_slots = store_slots
+        self.flexible_slots = flexible_slots
+        self.load_queue = LoadQueue(lq_entries, stats=self.stats)
+        self.store_buffer = StoreBuffer(sb_entries, layout=layout, stats=self.stats)
+        self.merge_buffer = MergeBuffer(mb_entries, layout=layout, stats=self.stats)
+        self._pending_writebacks: Deque[PendingWriteback] = deque()
+        self._cycle_loads_used = 0
+        self._cycle_stores_used = 0
+        self._cycle_flex_used = 0
+        self._current_cycle = 0
+
+    # ------------------------------------------------------------------
+    # Per-cycle slot management (address computation units, Table I)
+    # ------------------------------------------------------------------
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset per-cycle slot usage; called by the pipeline first thing."""
+        self._current_cycle = cycle
+        self._cycle_loads_used = 0
+        self._cycle_stores_used = 0
+        self._cycle_flex_used = 0
+
+    def reserve_load_slot(self) -> bool:
+        """Claim an address-computation slot for a load this cycle."""
+        if self._cycle_loads_used < self.load_slots:
+            self._cycle_loads_used += 1
+            return True
+        if self._cycle_flex_used < self.flexible_slots:
+            self._cycle_flex_used += 1
+            return True
+        return False
+
+    def reserve_store_slot(self) -> bool:
+        """Claim an address-computation slot for a store this cycle."""
+        if self._cycle_stores_used < self.store_slots:
+            self._cycle_stores_used += 1
+            return True
+        if self._cycle_flex_used < self.flexible_slots:
+            self._cycle_flex_used += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Acceptance checks (structural back-pressure)
+    # ------------------------------------------------------------------
+    def can_accept_load(self) -> bool:
+        """True when another load may be submitted this cycle."""
+        return not self.load_queue.full and self._can_accept_load_extra()
+
+    def can_accept_store(self) -> bool:
+        """True when another store may be submitted this cycle."""
+        return not self.store_buffer.full
+
+    def _can_accept_load_extra(self) -> bool:
+        """Subclass hook for additional back-pressure (e.g. Input Buffer full)."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Submission and commit
+    # ------------------------------------------------------------------
+    def submit_load(self, tag: Any, address: int, size: int, cycle: int) -> None:
+        """Accept a load whose address computation finished this cycle."""
+        self.load_queue.allocate(tag, address, cycle)
+        self.load_queue.mark_issued(tag, cycle)
+        self.stats.add("interface.loads_submitted")
+        self._enqueue_load(PendingLoad(tag=tag, virtual_address=address, size=size, submit_cycle=cycle))
+
+    def submit_store(self, tag: Any, address: int, size: int, cycle: int) -> None:
+        """Accept a store whose address computation finished this cycle."""
+        self.store_buffer.insert(tag, address, size, cycle)
+        self.stats.add("interface.stores_submitted")
+        self._on_store_submitted(address, size, cycle)
+
+    def commit_store(self, tag: Any, cycle: int) -> None:
+        """The pipeline committed a store: it may now leave the store buffer."""
+        self.store_buffer.mark_committed(tag)
+
+    # ------------------------------------------------------------------
+    # Store drain path (SB -> MB -> pending write-back)
+    # ------------------------------------------------------------------
+    def _drain_committed_stores(self, cycle: int, max_stores: int = 1) -> None:
+        """Move committed stores into the merge buffer (Fig. 2b right path)."""
+        for _ in range(max_stores):
+            entry = self.store_buffer.pop_committed()
+            if entry is None:
+                return
+            evicted = self.merge_buffer.commit_store(entry.virtual_address, entry.size, cycle)
+            if evicted is not None:
+                self._queue_writeback(evicted)
+
+    def _queue_writeback(self, mbe: MergeBufferEntry) -> None:
+        """Queue an evicted merge-buffer entry for its cache write."""
+        self._pending_writebacks.append(
+            PendingWriteback(virtual_line_address=mbe.line_address)
+        )
+        self.stats.add("interface.mbe_queued")
+
+    # ------------------------------------------------------------------
+    # Per-cycle servicing
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> List[CompletedAccess]:
+        """Advance the interface by one cycle; return load completions."""
+        self._drain_committed_stores(cycle)
+        completions = self._service_cycle(cycle)
+        for tag, ready in completions:
+            self.load_queue.mark_complete(tag, ready)
+            self.load_queue.release(tag)
+        return completions
+
+    @abstractmethod
+    def _enqueue_load(self, load: PendingLoad) -> None:
+        """Store a submitted load until it can access the cache."""
+
+    def _on_store_submitted(self, address: int, size: int, cycle: int) -> None:
+        """Subclass hook invoked when a store enters the store buffer."""
+
+    @abstractmethod
+    def _service_cycle(self, cycle: int) -> List[CompletedAccess]:
+        """Perform this cycle's cache accesses; return load completions."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers used by the concrete interfaces
+    # ------------------------------------------------------------------
+    def _translate(self, virtual_address: int):
+        """Translate one address through the uTLB/TLB (charging lookups)."""
+        return self.translation.translate(virtual_address)
+
+    def _forwarding_lookups(self, virtual_address: int, size: int, split: bool) -> None:
+        """Search SB and MB for store-to-load forwarding (energy bookkeeping).
+
+        All configurations perform these searches for every load; MALEC uses
+        the split page/offset structures.  Forwarding hits are counted but the
+        load still accesses the cache, keeping the cache-access counts
+        comparable across configurations (the paper excludes SB/MB energy).
+        """
+        self.store_buffer.lookup(virtual_address, size, split=split)
+        self.merge_buffer.lookup(virtual_address, split=split)
+
+    def _writeback_to_cache(self, writeback: PendingWriteback, way_hint: Optional[int] = None) -> None:
+        """Perform the cache write of an evicted merge-buffer entry."""
+        if writeback.physical_line_address is None:
+            translation = self._translate(writeback.virtual_line_address)
+            writeback.physical_line_address = self.layout.line_address(
+                translation.physical_address
+            )
+        self.hierarchy.l1.store(writeback.physical_line_address, way_hint=way_hint)
+        self.stats.add("interface.mbe_written")
+
+    # ------------------------------------------------------------------
+    # End-of-run drain
+    # ------------------------------------------------------------------
+    def finalize(self, cycle: int) -> None:
+        """Flush remaining committed stores and merge-buffer entries.
+
+        Called once by the pipeline after the last instruction commits so
+        that every configuration accounts for the same amount of store
+        traffic; the flush has no timing effect.
+        """
+        # Drain the store buffer completely.
+        while True:
+            entry = self.store_buffer.pop_committed()
+            if entry is None:
+                break
+            evicted = self.merge_buffer.commit_store(entry.virtual_address, entry.size, cycle)
+            if evicted is not None:
+                self._queue_writeback(evicted)
+        for mbe in self.merge_buffer.drain():
+            self._queue_writeback(mbe)
+        while self._pending_writebacks:
+            self._writeback_to_cache(self._pending_writebacks.popleft())
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_work(self) -> bool:
+        """True when loads or write-backs are still waiting (used in tests)."""
+        return bool(self._pending_writebacks)

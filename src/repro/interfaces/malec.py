@@ -1,0 +1,299 @@
+"""MALEC: the Multiple Access Low Energy Cache interface (Sec. IV and V).
+
+The interface deliberately restricts the L1 data subsystem to one *page* per
+cycle, which allows every structure (uTLB, TLB, cache banks) to stay
+single-ported.  Performance is recovered by:
+
+* sharing the single address translation of a cycle among every access to
+  that page (the Input Buffer groups them),
+* distributing the group across the four independent cache banks and merging
+  loads that touch the same cache line / sub-block pair (Arbitration Unit),
+* letting a group contain up to four loads plus one evicted merge-buffer
+  entry per cycle (bounded by the four result buses).
+
+Energy is further reduced by Page-Based Way Determination: the way-table
+entry returned alongside the translation supplies a validated way for most
+lines, so the corresponding bank accesses bypass the tag arrays and read a
+single data array ("reduced access").  A line-based WDU can be substituted
+for the way tables to reproduce the comparison of Sec. VI-C, or way
+determination can be disabled entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.buffers.merge_buffer import MergeBufferEntry
+from repro.core.arbitration import ArbitrationUnit, BankRequest
+from repro.core.input_buffer import InputBuffer
+from repro.core.request import AccessKind, MemoryAccessRequest
+from repro.core.way_table import WayTableHierarchy
+from repro.core.wdu import WayDeterminationUnit
+from repro.interfaces.base import (
+    BaseL1Interface,
+    CompletedAccess,
+    PendingLoad,
+    PendingWriteback,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatCounters
+from repro.tlb.tlb import TLBHierarchy
+
+#: way-determination schemes supported by the MALEC interface
+WAY_DETERMINATION_SCHEMES = ("wt", "wdu", "none")
+
+
+class MalecInterface(BaseL1Interface):
+    """Page-grouped, way-determined L1 interface (the paper's proposal)."""
+
+    name = "MALEC"
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        translation: TLBHierarchy,
+        stats: Optional[StatCounters] = None,
+        way_determination: str = "wt",
+        wdu_entries: int = 16,
+        enable_feedback_update: bool = True,
+        merge_granularity: str = "subblock_pair",
+        result_buses: int = 4,
+        input_buffer_capacity: int = 2,
+        new_loads_per_cycle: int = 4,
+        merge_window: int = 3,
+        dedicated_load_slots: int = 1,
+        flexible_slots: int = 2,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            hierarchy,
+            translation,
+            stats=stats,
+            load_slots=dedicated_load_slots,
+            store_slots=0,
+            flexible_slots=flexible_slots,
+            **kwargs,
+        )
+        if way_determination not in WAY_DETERMINATION_SCHEMES:
+            raise ValueError(
+                f"way_determination {way_determination!r} not in {WAY_DETERMINATION_SCHEMES}"
+            )
+        self.way_determination = way_determination
+        self.input_buffer = InputBuffer(
+            held_capacity=input_buffer_capacity,
+            new_loads_per_cycle=new_loads_per_cycle,
+            stats=self.stats,
+        )
+        self.arbitration = ArbitrationUnit(
+            layout=self.layout,
+            result_buses=result_buses,
+            merge_window=merge_window,
+            merge_granularity=merge_granularity,
+            stats=self.stats,
+        )
+        self.way_tables: Optional[WayTableHierarchy] = None
+        self.wdu: Optional[WayDeterminationUnit] = None
+        if way_determination == "wt":
+            self.way_tables = WayTableHierarchy(
+                translation,
+                layout=self.layout,
+                stats=self.stats,
+                enable_feedback_update=enable_feedback_update,
+            )
+            self.way_tables.attach_to_cache(hierarchy.l1)
+        elif way_determination == "wdu":
+            self.wdu = WayDeterminationUnit(
+                entries=wdu_entries,
+                lookup_ports=result_buses,
+                layout=self.layout,
+                stats=self.stats,
+            )
+            self.wdu.attach_to_cache(hierarchy.l1)
+        #: MBEs waiting for the Input Buffer's single MBE slot
+        self._mbe_backlog: Deque[MergeBufferEntry] = deque()
+
+    # ------------------------------------------------------------------
+    # Back-pressure and queuing
+    # ------------------------------------------------------------------
+    def _can_accept_load_extra(self) -> bool:
+        return self.input_buffer.can_accept_load()
+
+    def _enqueue_load(self, load: PendingLoad) -> None:
+        request = MemoryAccessRequest(
+            kind=AccessKind.LOAD,
+            virtual_address=load.virtual_address,
+            size=load.size,
+            arrival_cycle=load.submit_cycle,
+            tag=load.tag,
+            layout=self.layout,
+        )
+        self.input_buffer.add_load(request)
+
+    def _queue_writeback(self, mbe: MergeBufferEntry) -> None:
+        # Unlike the baselines, evicted MBEs travel through the Input Buffer
+        # so their cache write can share a page group's translation.
+        self._mbe_backlog.append(mbe)
+        self.stats.add("interface.mbe_queued")
+
+    def _feed_mbe_slot(self, cycle: int) -> None:
+        """Move one backlogged MBE into the Input Buffer's MBE slot."""
+        if not self._mbe_backlog or not self.input_buffer.can_accept_mbe():
+            return
+        mbe = self._mbe_backlog.popleft()
+        request = MemoryAccessRequest(
+            kind=AccessKind.MBE,
+            virtual_address=mbe.line_address,
+            size=self.layout.line_bytes,
+            arrival_cycle=cycle,
+            tag=None,
+            layout=self.layout,
+        )
+        self.input_buffer.add_mbe(request)
+
+    # ------------------------------------------------------------------
+    # Per-cycle servicing
+    # ------------------------------------------------------------------
+    def _service_cycle(self, cycle: int) -> List[CompletedAccess]:
+        completions: List[CompletedAccess] = []
+        self._feed_mbe_slot(cycle)
+        group = self.input_buffer.select_group()
+        if group is None:
+            self.input_buffer.end_cycle()
+            return completions
+
+        # One translation per cycle, shared by the whole page group.
+        translation = self.translation.translate(
+            self.layout.compose(group.virtual_page, 0)
+        )
+        way_entry = None
+        if self.way_tables is not None:
+            way_entry = self.way_tables.predict_page(group.virtual_page)
+
+        result = self.arbitration.arbitrate(group, way_entry)
+
+        if result.serviced_loads:
+            # The split SB/MB lookup structures compare the shared page id
+            # once per cycle; the narrow offset segments are charged per load.
+            self.store_buffer.charge_shared_page_lookup()
+            self.merge_buffer.charge_shared_page_lookup()
+
+        for bank_request in result.bank_requests:
+            completions.extend(
+                self._service_bank_request(bank_request, translation, cycle)
+            )
+
+        self.input_buffer.retire(result.serviced)
+        self.input_buffer.end_cycle()
+        self.stats.add("malec.group_cycles")
+        self.stats.add("malec.group_loads", len(result.serviced_loads))
+        return completions
+
+    def _service_bank_request(
+        self, bank_request: BankRequest, translation, cycle: int
+    ) -> List[CompletedAccess]:
+        """Perform one bank access and return completions of its loads."""
+        completions: List[CompletedAccess] = []
+        primary = bank_request.primary
+        primary.attach_translation(translation.physical_page)
+        way_hint = bank_request.way_hint
+
+        if self.wdu is not None:
+            prediction = self.wdu.predict(primary.physical_address)
+            if prediction.known:
+                way_hint = prediction.way
+
+        if bank_request.is_write:
+            outcome = self.hierarchy.l1.store(primary.physical_address, way_hint=way_hint)
+            self.stats.add("interface.mbe_written")
+            self._account_way_prediction(way_hint, outcome)
+            return completions
+
+        # Loads: every serviced load (primary + merged) searches SB/MB with
+        # the split structures and shares the single bank access.
+        for request in [primary] + bank_request.merged:
+            request.attach_translation(translation.physical_page)
+            self._forwarding_lookups(request.virtual_address, request.size, split=True)
+
+        outcome = self.hierarchy.l1.load(primary.physical_address, way_hint=way_hint)
+        self.stats.add("interface.load_accesses")
+        self.stats.add("interface.loads_merged", len(bank_request.merged))
+        self._account_way_prediction(way_hint, outcome)
+
+        if way_hint is None and outcome.hit:
+            # Feedback path: conventional access hit although the prediction
+            # was unknown — update the uWT via the last-entry register, or
+            # train the WDU.
+            if self.way_tables is not None:
+                self.way_tables.feedback_conventional_hit(
+                    primary.physical_address, outcome.way
+                )
+            if self.wdu is not None and outcome.way is not None:
+                self.wdu.record(primary.physical_address, outcome.way)
+
+        ready = cycle + translation.latency + outcome.latency
+        for request in [primary] + bank_request.merged:
+            if request.tag is not None:
+                completions.append((request.tag, ready))
+        return completions
+
+    def _account_way_prediction(self, way_hint: Optional[int], outcome) -> None:
+        """Coverage bookkeeping: each bank access is one prediction opportunity."""
+        if self.way_determination == "none":
+            return
+        self.stats.add("malec.way_lookup")
+        if way_hint is not None:
+            self.stats.add("malec.way_known")
+            if outcome.reduced:
+                self.stats.add("malec.reduced_access")
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    @property
+    def way_coverage(self) -> float:
+        """Fraction of L1 accesses serviced with a known, valid way."""
+        return self.stats.ratio("malec.way_known", "malec.way_lookup")
+
+    @property
+    def merged_load_fraction(self) -> float:
+        """Fraction of serviced loads that shared another load's bank access."""
+        merged = self.stats.get("interface.loads_merged")
+        accesses = self.stats.get("interface.load_accesses")
+        total = merged + accesses
+        return merged / total if total else 0.0
+
+    @property
+    def pending_work(self) -> bool:
+        """True when loads, MBEs or write-backs are still in flight."""
+        return (
+            not self.input_buffer.empty
+            or bool(self._mbe_backlog)
+            or bool(self._pending_writebacks)
+        )
+
+    def finalize(self, cycle: int) -> None:
+        """Drain the Input Buffer's MBE backlog in addition to the base drain."""
+        # An MBE may still sit in the Input Buffer's single MBE slot.
+        waiting = self.input_buffer.take_mbe()
+        if waiting is not None:
+            self._pending_writebacks.append(
+                PendingWriteback(virtual_line_address=waiting.virtual_address)
+            )
+        # Convert backlogged MBEs into ordinary write-backs first.
+        while self._mbe_backlog:
+            mbe = self._mbe_backlog.popleft()
+            self._pending_writebacks.append(
+                PendingWriteback(virtual_line_address=mbe.line_address)
+            )
+        # Any loads still sitting in the Input Buffer have already been
+        # reported complete or the pipeline would not have committed them;
+        # by construction the buffer is empty of loads here.
+        super().finalize(cycle)
+        # The base drain routes freshly evicted MBEs back through our
+        # overridden _queue_writeback (i.e. into the backlog); flush them too.
+        while self._mbe_backlog:
+            mbe = self._mbe_backlog.popleft()
+            self._writeback_to_cache(
+                PendingWriteback(virtual_line_address=mbe.line_address)
+            )

@@ -1,0 +1,71 @@
+"""Fixed-latency DRAM model.
+
+The paper's Table II models main memory as a 256 MByte DRAM with a flat
+54-cycle access latency.  MALEC does not change the number of DRAM accesses
+(Sec. VI-A), so a simple fixed-latency, capacity-checked model is sufficient:
+it provides the latency that L2 misses see and counts accesses so experiments
+can confirm that the different L1 interfaces leave DRAM traffic unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.stats import StatCounters
+
+
+@dataclass
+class DRAMModel:
+    """Flat-latency main-memory model (Table II: 256 MByte, 54 cycles).
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total capacity; accesses beyond it raise ``ValueError`` because they
+        indicate a broken address generator rather than a legal access.
+    latency_cycles:
+        Latency added to every access.
+    layout:
+        Address geometry (used only for validation).
+    stats:
+        Shared counter collection; ``dram.read`` / ``dram.write`` are counted.
+    """
+
+    capacity_bytes: int = 256 * 1024 * 1024
+    latency_cycles: int = 54
+    layout: AddressLayout = DEFAULT_LAYOUT
+    stats: Optional[StatCounters] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("DRAM capacity must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("DRAM latency cannot be negative")
+        if self.stats is None:
+            self.stats = StatCounters()
+
+    def _check(self, address: int) -> None:
+        self.layout.check(address)
+        if address >= self.capacity_bytes:
+            raise ValueError(
+                f"address {address:#x} beyond DRAM capacity {self.capacity_bytes:#x}"
+            )
+
+    def read(self, address: int) -> int:
+        """Read the line containing ``address``; returns the access latency."""
+        self._check(address)
+        self.stats.add("dram.read")
+        return self.latency_cycles
+
+    def write(self, address: int) -> int:
+        """Write the line containing ``address``; returns the access latency."""
+        self._check(address)
+        self.stats.add("dram.write")
+        return self.latency_cycles
+
+    @property
+    def accesses(self) -> int:
+        """Total number of reads and writes serviced so far."""
+        return int(self.stats.get("dram.read") + self.stats.get("dram.write"))

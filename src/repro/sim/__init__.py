@@ -1,0 +1,28 @@
+"""Simulation driver: configuration, statistics and the top-level simulator.
+
+The :class:`~repro.sim.simulator.Simulator` ties a workload trace, an
+out-of-order memory pipeline, one of the L1 interface models and the energy
+accounting together and produces a :class:`~repro.sim.simulator.SimulationResult`.
+"""
+
+from repro.stats import StatCounters
+from repro.sim.config import (
+    CacheParameters,
+    InterfaceKind,
+    PipelineParameters,
+    SimulationConfig,
+    TLBParameters,
+)
+from repro.sim.simulator import SimulationResult, Simulator, run_configuration
+
+__all__ = [
+    "StatCounters",
+    "CacheParameters",
+    "InterfaceKind",
+    "PipelineParameters",
+    "SimulationConfig",
+    "TLBParameters",
+    "SimulationResult",
+    "Simulator",
+    "run_configuration",
+]

@@ -1,0 +1,190 @@
+"""Top-level simulator: configuration + trace -> performance and energy.
+
+:class:`Simulator` instantiates the memory hierarchy, the translation path,
+the selected L1 interface model and the out-of-order pipeline from a
+:class:`~repro.sim.config.SimulationConfig`, runs a workload trace through
+them and collects a :class:`SimulationResult` carrying the execution time,
+the raw event counters and the energy report — everything the benchmark
+harness needs to regenerate Fig. 4a/4b and the Sec. VI analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.cpu.instruction import Instruction
+from repro.cpu.pipeline import OutOfOrderPipeline, PipelineParametersLite
+from repro.energy.accounting import EnergyAccountant, EnergyReport
+from repro.energy.energy_model import InterfaceEnergyModel
+from repro.interfaces.base import BaseL1Interface
+from repro.interfaces.base_1ldst import BaselineSingleInterface
+from repro.interfaces.base_2ld1st import BaselineDualLoadInterface
+from repro.interfaces.malec import MalecInterface
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import InterfaceKind, SimulationConfig
+from repro.stats import StatCounters
+from repro.tlb.tlb import TLBHierarchy
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one (configuration, trace) simulation."""
+
+    config_name: str
+    cycles: int
+    instructions: int
+    loads: int
+    stores: int
+    energy: EnergyReport
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_load_miss_rate(self) -> float:
+        """Fraction of L1 load accesses that missed."""
+        loads = self.stats.get("l1.load", 0.0)
+        return self.stats.get("l1.load_miss", 0.0) / loads if loads else 0.0
+
+    @property
+    def way_coverage(self) -> float:
+        """Fraction of MALEC L1 accesses with a known way (0 for baselines)."""
+        lookups = self.stats.get("malec.way_lookup", 0.0)
+        return self.stats.get("malec.way_known", 0.0) / lookups if lookups else 0.0
+
+    @property
+    def merged_load_fraction(self) -> float:
+        """Fraction of loads that shared another load's bank access."""
+        merged = self.stats.get("interface.loads_merged", 0.0)
+        accesses = self.stats.get("interface.load_accesses", 0.0)
+        total = merged + accesses
+        return merged / total if total else 0.0
+
+    def normalized_time(self, baseline: "SimulationResult") -> float:
+        """Execution time relative to ``baseline`` (Fig. 4a's y-axis)."""
+        if baseline.cycles == 0:
+            raise ValueError("baseline has zero cycles")
+        return self.cycles / baseline.cycles
+
+    def normalized_energy(self, baseline: "SimulationResult") -> Dict[str, float]:
+        """Dynamic/leakage/total energy relative to ``baseline`` (Fig. 4b)."""
+        return self.energy.normalized_to(baseline.energy)
+
+
+class Simulator:
+    """Builds and runs one configuration."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.stats = StatCounters()
+        self.hierarchy = MemoryHierarchy(
+            layout=config.cache.layout,
+            l1_hit_latency=config.cache.l1_hit_latency,
+            l2_latency=config.cache.l2_latency,
+            dram_latency=config.cache.dram_latency,
+            l1_read_ports=config.l1_read_ports,
+            restrict_way_allocation=(
+                config.interface is InterfaceKind.MALEC
+                and config.malec_options.way_determination == "wt"
+                and config.malec_options.restrict_way_allocation
+            ),
+            seed=config.seed,
+            stats=self.stats,
+        )
+        self.translation = TLBHierarchy(
+            layout=config.cache.layout,
+            utlb_entries=config.tlb.utlb_entries,
+            tlb_entries=config.tlb.tlb_entries,
+            walk_latency=config.tlb.walk_latency,
+            stats=self.stats,
+            seed=config.seed,
+        )
+        self.interface = self._build_interface()
+        self.energy_model = InterfaceEnergyModel(config.energy_model_config())
+        self.accountant = EnergyAccountant(self.energy_model)
+
+    # ------------------------------------------------------------------
+    def _build_interface(self) -> BaseL1Interface:
+        config = self.config
+        common = dict(
+            stats=self.stats,
+            lq_entries=config.lq_entries,
+            sb_entries=config.sb_entries,
+            mb_entries=config.mb_entries,
+            layout=config.cache.layout,
+        )
+        if config.interface is InterfaceKind.BASE_1LDST:
+            return BaselineSingleInterface(self.hierarchy, self.translation, **common)
+        if config.interface is InterfaceKind.BASE_2LD1ST:
+            return BaselineDualLoadInterface(self.hierarchy, self.translation, **common)
+        malec = config.malec_options
+        return MalecInterface(
+            self.hierarchy,
+            self.translation,
+            way_determination=malec.way_determination,
+            wdu_entries=malec.wdu_entries,
+            enable_feedback_update=malec.enable_feedback_update,
+            merge_granularity=malec.merge_granularity,
+            result_buses=malec.result_buses,
+            input_buffer_capacity=malec.input_buffer_capacity,
+            merge_window=malec.merge_window,
+            **common,
+        )
+
+    # ------------------------------------------------------------------
+    def _pipeline_parameters(self) -> PipelineParametersLite:
+        return PipelineParametersLite(
+            rob_entries=self.config.pipeline.rob_entries,
+            fetch_width=self.config.pipeline.fetch_width,
+            issue_width=self.config.pipeline.issue_width,
+            commit_width=self.config.pipeline.commit_width,
+        )
+
+    def run(
+        self, trace: Iterable[Instruction], warmup_fraction: float = 0.0
+    ) -> SimulationResult:
+        """Execute ``trace`` and return performance plus energy results.
+
+        ``warmup_fraction`` runs the first part of the trace only to warm the
+        caches, TLBs and way tables; its cycles and events are discarded
+        before the measured portion starts.  The paper measures warmed-up
+        Simpoint phases, so the experiment harness uses a non-zero warm-up to
+        keep compulsory misses from dominating the (much shorter) synthetic
+        traces.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must lie in [0, 1)")
+        instructions = list(trace)
+        warmup_count = int(len(instructions) * warmup_fraction)
+        params = self._pipeline_parameters()
+        if warmup_count:
+            warmup_pipeline = OutOfOrderPipeline(
+                self.interface, params=params, stats=self.stats
+            )
+            warmup_pipeline.run(instructions[:warmup_count])
+            self.stats.clear()
+        pipeline = OutOfOrderPipeline(self.interface, params=params, stats=self.stats)
+        outcome = pipeline.run(instructions[warmup_count:])
+        energy = self.accountant.report(self.stats, outcome.cycles)
+        return SimulationResult(
+            config_name=self.config.name,
+            cycles=outcome.cycles,
+            instructions=outcome.instructions,
+            loads=outcome.loads,
+            stores=outcome.stores,
+            energy=energy,
+            stats=self.stats.as_dict(),
+        )
+
+
+def run_configuration(
+    config: SimulationConfig,
+    trace: Iterable[Instruction],
+    warmup_fraction: float = 0.0,
+) -> SimulationResult:
+    """One-call helper: build a :class:`Simulator` for ``config`` and run ``trace``."""
+    return Simulator(config).run(trace, warmup_fraction=warmup_fraction)

@@ -1,0 +1,117 @@
+"""Shared statistics counters.
+
+Every hardware structure in the reproduction (TLBs, way tables, cache banks,
+store/merge buffers, the arbitration logic, ...) reports its activity by
+incrementing named counters on a shared :class:`StatCounters` instance.  The
+energy model (:mod:`repro.energy`) later converts a subset of these counters
+(the *access events*) into dynamic energy, and the simulator records derived
+metrics such as coverage and miss rates from them.
+
+Counter names follow a simple ``<structure>.<event>`` convention, e.g.
+``l1.tag_read``, ``utlb.hit`` or ``wt.update``.  Keeping them in one flat
+namespace makes it trivial to diff two configurations and to serialise results.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class StatCounters:
+    """A flat, named collection of integer/float counters.
+
+    The class behaves like a ``defaultdict(float)`` with a few convenience
+    helpers (ratios, merging, prefix filtering) and deliberately keeps no
+    reference to the structures that feed it, so a single instance can be
+    shared by an entire simulated system.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # Basic mutation
+    # ------------------------------------------------------------------
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount`` (default 1)."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Set counter ``name`` to ``value`` explicitly."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return the current value of ``name`` (``default`` if never touched)."""
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    # ------------------------------------------------------------------
+    # Aggregation helpers
+    # ------------------------------------------------------------------
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return ``numerator / denominator`` or 0.0 if the denominator is 0."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def total(self, *names: str) -> float:
+        """Sum of the given counters."""
+        return sum(self.get(name) for name in names)
+
+    def with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Return all counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def merge(self, other: "StatCounters") -> None:
+        """Add every counter of ``other`` into this instance."""
+        for name, value in other.items():
+            self._counters[name] += value
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate over ``(name, value)`` pairs."""
+        return iter(self._counters.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters as a plain dictionary."""
+        return dict(self._counters)
+
+    def clear(self) -> None:
+        """Reset every counter."""
+        self._counters.clear()
+
+    def update_from(self, mapping: Mapping[str, float]) -> None:
+        """Add the values of ``mapping`` into the counters."""
+        for name, value in mapping.items():
+            self._counters[name] += value
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def summary(self, prefix: str = "") -> str:
+        """Human-readable multi-line summary, optionally filtered by prefix."""
+        lines = []
+        for name in sorted(self._counters):
+            if prefix and not name.startswith(prefix):
+                continue
+            value = self._counters[name]
+            if float(value).is_integer():
+                lines.append(f"{name:<40s} {int(value):>14d}")
+            else:
+                lines.append(f"{name:<40s} {value:>14.4f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"StatCounters({len(self._counters)} counters)"

@@ -1,0 +1,280 @@
+"""Fully-associative TLB and micro-TLB with reverse (physical) lookups.
+
+Sec. V of the paper requires the uTLB and TLB to be searchable by physical
+page id as well as by virtual page id, because the cache performs line fills
+and evictions with physical tags and the way tables attached to each TLB
+level must be located from those physical addresses.  The energy methodology
+(Sec. VI-A) therefore treats each TLB as *two* fully-associative tag arrays
+(a virtual one and a physical one) in front of the shared WT data array;
+this module counts the corresponding events separately.
+
+Replacement follows the paper: second chance for the uTLB (to limit the
+number of full uWT→WT entry transfers) and random for the TLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.replacement import make_replacement_policy
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.stats import StatCounters
+from repro.tlb.page_table import PageTable
+
+
+@dataclass
+class TLBEntry:
+    """One translation held by a TLB."""
+
+    valid: bool = False
+    virtual_page: int = 0
+    physical_page: int = 0
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of a full address translation through the TLB hierarchy."""
+
+    virtual_page: int
+    physical_page: int
+    physical_address: int
+    utlb_hit: bool
+    tlb_hit: bool
+    latency: int
+
+
+#: Callback fired when a TLB slot is replaced: (slot_index, old_entry, new_entry)
+EvictionCallback = Callable[[int, TLBEntry, TLBEntry], None]
+
+
+class TLB:
+    """A fully-associative translation buffer of ``entries`` slots.
+
+    The class is used for both the 64-entry main TLB and the 16-entry uTLB
+    (Table II); only the size and the replacement policy differ.  Way tables
+    index their entries by TLB slot, so the slot index is part of every
+    lookup result and the eviction callback reports which slot was recycled.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        name: str = "tlb",
+        replacement: str = "random",
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        stats: Optional[StatCounters] = None,
+        seed: int = 0,
+    ) -> None:
+        if entries <= 0:
+            raise ValueError("a TLB needs at least one entry")
+        self.name = name
+        self.layout = layout
+        self.entries = entries
+        self.stats = stats if stats is not None else StatCounters()
+        self._slots: List[TLBEntry] = [TLBEntry() for _ in range(entries)]
+        self._policy = make_replacement_policy(replacement, entries, seed=seed)
+        self._by_vpage: Dict[int, int] = {}
+        self._by_ppage: Dict[int, int] = {}
+        self._eviction_callbacks: List[EvictionCallback] = []
+
+    # ------------------------------------------------------------------
+    def add_eviction_callback(self, callback: EvictionCallback) -> None:
+        """Register a callback fired when a slot's translation is replaced."""
+        self._eviction_callbacks.append(callback)
+
+    def slot(self, index: int) -> TLBEntry:
+        """Direct access to slot ``index`` (used by way tables and tests)."""
+        return self._slots[index]
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def lookup(self, virtual_page: int, count_event: bool = True) -> Optional[int]:
+        """Return the slot index holding ``virtual_page`` or ``None``.
+
+        ``count_event`` distinguishes real (energy-consuming) lookups from
+        bookkeeping probes issued by the model itself.
+        """
+        if count_event:
+            self.stats.add(f"{self.name}.lookup")
+        slot = self._by_vpage.get(virtual_page)
+        if slot is None:
+            if count_event:
+                self.stats.add(f"{self.name}.miss")
+            return None
+        if count_event:
+            self.stats.add(f"{self.name}.hit")
+        self._policy.touch(slot)
+        return slot
+
+    def reverse_lookup(self, physical_page: int, count_event: bool = True) -> Optional[int]:
+        """Slot index holding the translation *to* ``physical_page`` (or ``None``).
+
+        Used on cache line fills/evictions, which know only physical tags.
+        """
+        if count_event:
+            self.stats.add(f"{self.name}.reverse_lookup")
+        slot = self._by_ppage.get(physical_page)
+        if slot is None:
+            if count_event:
+                self.stats.add(f"{self.name}.reverse_miss")
+            return None
+        if count_event:
+            self.stats.add(f"{self.name}.reverse_hit")
+        return slot
+
+    def translation(self, virtual_page: int) -> Optional[int]:
+        """Physical page for ``virtual_page`` if resident (no event counted)."""
+        slot = self._by_vpage.get(virtual_page)
+        if slot is None:
+            return None
+        return self._slots[slot].physical_page
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid translations currently held."""
+        return sum(1 for entry in self._slots if entry.valid)
+
+    def resident_virtual_pages(self) -> List[int]:
+        """Virtual pages currently covered (helper for invariants)."""
+        return sorted(self._by_vpage)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, virtual_page: int, physical_page: int) -> int:
+        """Install a translation and return the slot index used.
+
+        If the virtual page is already resident its slot is refreshed.  A
+        full TLB evicts a victim chosen by the replacement policy and informs
+        the registered eviction callbacks (which the way tables use to write
+        back / invalidate their per-slot entries).
+        """
+        existing = self._by_vpage.get(virtual_page)
+        if existing is not None:
+            entry = self._slots[existing]
+            if entry.physical_page != physical_page:
+                self._by_ppage.pop(entry.physical_page, None)
+                entry.physical_page = physical_page
+                self._by_ppage[physical_page] = existing
+            self._policy.touch(existing)
+            return existing
+
+        valid_mask = [entry.valid for entry in self._slots]
+        slot = self._policy.victim(valid_mask)
+        old = self._slots[slot]
+        new = TLBEntry(valid=True, virtual_page=virtual_page, physical_page=physical_page)
+        if old.valid:
+            self.stats.add(f"{self.name}.eviction")
+            self._by_vpage.pop(old.virtual_page, None)
+            self._by_ppage.pop(old.physical_page, None)
+        for callback in self._eviction_callbacks:
+            callback(slot, old, new)
+        self._slots[slot] = new
+        self._by_vpage[virtual_page] = slot
+        self._by_ppage[physical_page] = slot
+        self._policy.touch(slot)
+        self.stats.add(f"{self.name}.fill")
+        return slot
+
+    def invalidate_all(self) -> None:
+        """Drop every translation (no callbacks; used for context switches)."""
+        self._slots = [TLBEntry() for _ in range(self.entries)]
+        self._by_vpage.clear()
+        self._by_ppage.clear()
+
+
+class TLBHierarchy:
+    """uTLB + TLB + page table, the translation path of Fig. 2a.
+
+    Parameters follow Table II: a 16-entry uTLB with second-chance
+    replacement in front of a 64-entry TLB with random replacement.  A uTLB
+    miss that hits in the TLB refills the uTLB; a TLB miss walks the page
+    table (``walk_latency`` cycles) and refills both levels.
+    """
+
+    def __init__(
+        self,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        utlb_entries: int = 16,
+        tlb_entries: int = 64,
+        walk_latency: int = 30,
+        page_table: Optional[PageTable] = None,
+        stats: Optional[StatCounters] = None,
+        seed: int = 0,
+    ) -> None:
+        self.layout = layout
+        self.walk_latency = walk_latency
+        self.stats = stats if stats is not None else StatCounters()
+        self.page_table = page_table if page_table is not None else PageTable(
+            layout=layout, seed=seed, stats=self.stats
+        )
+        self.utlb = TLB(
+            utlb_entries,
+            name="utlb",
+            replacement="second_chance",
+            layout=layout,
+            stats=self.stats,
+            seed=seed,
+        )
+        self.tlb = TLB(
+            tlb_entries,
+            name="tlb",
+            replacement="random",
+            layout=layout,
+            stats=self.stats,
+            seed=seed + 1,
+        )
+
+    def translate(self, virtual_address: int) -> TranslationResult:
+        """Translate ``virtual_address``; refills uTLB/TLB as needed.
+
+        The returned latency is the *additional* translation latency beyond
+        the pipelined uTLB access: 0 for a uTLB hit, 1 cycle for a TLB hit,
+        ``walk_latency`` cycles for a page walk.
+        """
+        vpage = self.layout.page_id(virtual_address)
+        offset = self.layout.page_offset(virtual_address)
+
+        slot = self.utlb.lookup(vpage)
+        if slot is not None:
+            ppage = self.utlb.slot(slot).physical_page
+            return TranslationResult(
+                virtual_page=vpage,
+                physical_page=ppage,
+                physical_address=self.layout.compose(ppage, offset),
+                utlb_hit=True,
+                tlb_hit=True,
+                latency=0,
+            )
+
+        tlb_slot = self.tlb.lookup(vpage)
+        if tlb_slot is not None:
+            ppage = self.tlb.slot(tlb_slot).physical_page
+            self.utlb.insert(vpage, ppage)
+            return TranslationResult(
+                virtual_page=vpage,
+                physical_page=ppage,
+                physical_address=self.layout.compose(ppage, offset),
+                utlb_hit=False,
+                tlb_hit=True,
+                latency=1,
+            )
+
+        ppage = self.page_table.translate_page(vpage)
+        self.stats.add("tlb.walk")
+        self.tlb.insert(vpage, ppage)
+        self.utlb.insert(vpage, ppage)
+        return TranslationResult(
+            virtual_page=vpage,
+            physical_page=ppage,
+            physical_address=self.layout.compose(ppage, offset),
+            utlb_hit=False,
+            tlb_hit=False,
+            latency=self.walk_latency,
+        )
+
+    def translate_page(self, virtual_page: int) -> TranslationResult:
+        """Translate a bare virtual page id (offset 0)."""
+        return self.translate(self.layout.compose(virtual_page, 0))

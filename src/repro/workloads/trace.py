@@ -1,0 +1,117 @@
+"""Instruction trace container with memory-behaviour statistics.
+
+A :class:`MemoryTrace` is an ordered list of
+:class:`~repro.cpu.instruction.Instruction` objects plus a few derived
+statistics used by the motivation analysis (Sec. III) and by the tests that
+validate the synthetic generators against the paper's reported workload
+characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.cpu.instruction import Instruction, InstructionKind
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+
+
+@dataclass
+class MemoryTrace:
+    """A program-order instruction trace for one benchmark phase."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    suite: str = ""
+    layout: AddressLayout = DEFAULT_LAYOUT
+
+    def __post_init__(self) -> None:
+        for seq, instruction in enumerate(self.instructions):
+            instruction.seq = seq
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    def append(self, instruction: Instruction) -> None:
+        """Append one instruction, assigning its sequence number."""
+        instruction.seq = len(self.instructions)
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: Iterable[Instruction]) -> None:
+        """Append several instructions in order."""
+        for instruction in instructions:
+            self.append(instruction)
+
+    def head(self, count: int) -> "MemoryTrace":
+        """A new trace containing the first ``count`` instructions."""
+        sliced = [
+            Instruction(kind=i.kind, address=i.address, size=i.size, deps=i.deps)
+            for i in self.instructions[:count]
+        ]
+        return MemoryTrace(name=self.name, instructions=sliced, suite=self.suite, layout=self.layout)
+
+    # ------------------------------------------------------------------
+    # Derived statistics (Sec. III characteristics)
+    # ------------------------------------------------------------------
+    @property
+    def loads(self) -> List[Instruction]:
+        """All load instructions, in program order."""
+        return [i for i in self.instructions if i.is_load]
+
+    @property
+    def stores(self) -> List[Instruction]:
+        """All store instructions, in program order."""
+        return [i for i in self.instructions if i.is_store]
+
+    @property
+    def memory_references(self) -> List[Instruction]:
+        """All loads and stores, in program order."""
+        return [i for i in self.instructions if i.is_memory]
+
+    @property
+    def memory_fraction(self) -> float:
+        """Memory references as a fraction of all instructions."""
+        if not self.instructions:
+            return 0.0
+        return len(self.memory_references) / len(self.instructions)
+
+    @property
+    def load_store_ratio(self) -> float:
+        """Ratio of loads to stores (the paper reports ~2)."""
+        stores = len(self.stores)
+        return len(self.loads) / stores if stores else float("inf")
+
+    def load_addresses(self) -> List[int]:
+        """Addresses of all loads in program order (for locality analysis)."""
+        return [i.address for i in self.instructions if i.is_load]
+
+    def memory_addresses(self) -> List[int]:
+        """Addresses of all memory references in program order."""
+        return [i.address for i in self.instructions if i.is_memory]
+
+    def footprint_pages(self) -> int:
+        """Number of distinct pages touched by memory references."""
+        return len({self.layout.page_id(a) for a in self.memory_addresses()})
+
+    def footprint_lines(self) -> int:
+        """Number of distinct cache lines touched by memory references."""
+        return len({self.layout.line_number(a) for a in self.memory_addresses()})
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.name}: {len(self)} instr, "
+            f"{len(self.memory_references)} mem refs "
+            f"({self.memory_fraction * 100:.1f}%), "
+            f"ld/st={self.load_store_ratio:.2f}, "
+            f"{self.footprint_pages()} pages"
+        )

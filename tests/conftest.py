@@ -1,0 +1,53 @@
+"""Shared fixtures for the MALEC reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats import StatCounters
+from repro.tlb.tlb import TLBHierarchy
+from repro.workloads.suites import benchmark_profile
+from repro.workloads.synthetic import generate_trace
+
+
+@pytest.fixture
+def layout() -> AddressLayout:
+    """The paper's default address/cache geometry (Table II)."""
+    return DEFAULT_LAYOUT
+
+
+@pytest.fixture
+def stats() -> StatCounters:
+    """A fresh, empty statistics collection."""
+    return StatCounters()
+
+
+@pytest.fixture
+def hierarchy(stats) -> MemoryHierarchy:
+    """A default L1/L2/DRAM hierarchy sharing the ``stats`` fixture."""
+    return MemoryHierarchy(stats=stats)
+
+
+@pytest.fixture
+def translation(stats) -> TLBHierarchy:
+    """A default uTLB/TLB hierarchy sharing the ``stats`` fixture."""
+    return TLBHierarchy(stats=stats)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short, deterministic synthetic trace used by integration tests."""
+    return generate_trace(benchmark_profile("gzip"), instructions=1500)
+
+
+@pytest.fixture(scope="session")
+def media_trace():
+    """A short media-like trace (high page/line locality)."""
+    return generate_trace(benchmark_profile("djpeg"), instructions=1500)
+
+
+def make_address(layout: AddressLayout, page: int, line: int, offset: int = 0) -> int:
+    """Helper used across tests to build addresses field-by-field."""
+    return layout.compose_line(page, line, offset)

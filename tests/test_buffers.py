@@ -1,0 +1,166 @@
+"""Tests for the load queue, store buffer and merge buffer."""
+
+import pytest
+
+from repro.buffers.load_queue import LoadQueue
+from repro.buffers.merge_buffer import MergeBuffer
+from repro.buffers.store_buffer import StoreBuffer
+from repro.memory.address import DEFAULT_LAYOUT
+from repro.stats import StatCounters
+
+layout = DEFAULT_LAYOUT
+
+
+class TestLoadQueue:
+    def test_allocate_and_release(self):
+        lq = LoadQueue(entries=2)
+        lq.allocate("a", 0x1000, cycle=0)
+        assert lq.occupancy == 1 and not lq.full
+        lq.allocate("b", 0x2000, cycle=0)
+        assert lq.full
+        lq.release("a")
+        assert lq.occupancy == 1
+
+    def test_overflow_raises(self):
+        lq = LoadQueue(entries=1)
+        lq.allocate("a", 0, 0)
+        with pytest.raises(RuntimeError):
+            lq.allocate("b", 0, 0)
+
+    def test_duplicate_tag_rejected(self):
+        lq = LoadQueue(entries=4)
+        lq.allocate("a", 0, 0)
+        with pytest.raises(ValueError):
+            lq.allocate("a", 0, 0)
+
+    def test_latency_tracking(self):
+        lq = LoadQueue()
+        lq.allocate("a", 0, 0)
+        lq.mark_issued("a", 2)
+        lq.mark_complete("a", 7)
+        assert lq.get("a").latency == 5
+        assert lq.average_latency == 5
+
+    def test_outstanding(self):
+        lq = LoadQueue()
+        lq.allocate("a", 0, 0)
+        lq.allocate("b", 0, 0)
+        lq.mark_issued("a", 0)
+        lq.mark_complete("a", 3)
+        assert [e.tag for e in lq.outstanding()] == ["b"]
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            LoadQueue(entries=0)
+
+
+class TestStoreBuffer:
+    def test_insert_and_commit_drain(self):
+        sb = StoreBuffer(entries=4)
+        sb.insert("s1", 0x100, 4, cycle=0)
+        sb.insert("s2", 0x200, 4, cycle=1)
+        assert sb.occupancy == 2
+        assert sb.pop_committed() is None
+        sb.mark_committed("s1")
+        drained = sb.pop_committed()
+        assert drained.tag == "s1"
+        assert sb.occupancy == 1
+
+    def test_overflow(self):
+        sb = StoreBuffer(entries=1)
+        sb.insert("s1", 0, 4, 0)
+        assert sb.full
+        with pytest.raises(RuntimeError):
+            sb.insert("s2", 0, 4, 0)
+
+    def test_forwarding_hits_youngest_overlapping(self):
+        sb = StoreBuffer()
+        sb.insert("old", 0x100, 4, 0)
+        sb.insert("new", 0x100, 4, 1)
+        result = sb.lookup(0x100, 4)
+        assert result.hit and result.entry.tag == "new"
+
+    def test_forwarding_respects_overlap(self):
+        sb = StoreBuffer()
+        sb.insert("s", 0x100, 4, 0)
+        assert not sb.lookup(0x104, 4).hit
+        assert sb.lookup(0x102, 2).hit
+
+    def test_split_vs_full_lookup_events(self):
+        stats = StatCounters()
+        sb = StoreBuffer(stats=stats)
+        sb.lookup(0x100, split=False)
+        sb.lookup(0x100, split=True)
+        sb.charge_shared_page_lookup()
+        assert stats["sb.lookup_full"] == 1
+        assert stats["sb.lookup_offset"] == 1
+        assert stats["sb.lookup_page_shared"] == 1
+
+    def test_flush_speculative_keeps_committed(self):
+        sb = StoreBuffer()
+        sb.insert("a", 0, 4, 0)
+        sb.insert("b", 4, 4, 0)
+        sb.mark_committed("a")
+        assert sb.flush_speculative() == 1
+        assert sb.occupancy == 1
+        assert sb.pop_committed().tag == "a"
+
+    def test_mark_committed_unknown_tag(self):
+        sb = StoreBuffer()
+        assert sb.mark_committed("missing") is None
+
+
+class TestMergeBuffer:
+    def test_same_line_stores_merge(self):
+        mb = MergeBuffer(entries=2)
+        assert mb.commit_store(0x100, 4) is None
+        assert mb.commit_store(0x104, 4) is None  # same 64-byte line
+        assert mb.occupancy == 1
+        assert mb.merge_rate == 0.5
+
+    def test_eviction_when_full(self):
+        mb = MergeBuffer(entries=2)
+        mb.commit_store(layout.compose_line(1, 0), 4)
+        mb.commit_store(layout.compose_line(1, 1), 4)
+        evicted = mb.commit_store(layout.compose_line(1, 2), 4)
+        assert evicted is not None
+        assert evicted.line_address == layout.compose_line(1, 0)
+        assert mb.occupancy == 2
+
+    def test_lookup_finds_buffered_line(self):
+        stats = StatCounters()
+        mb = MergeBuffer(stats=stats)
+        mb.commit_store(0x140, 4)
+        assert mb.lookup(0x150) is not None   # same line
+        assert mb.lookup(0x100) is None
+        assert stats["mb.forward_hit"] == 1
+
+    def test_split_lookup_events(self):
+        stats = StatCounters()
+        mb = MergeBuffer(stats=stats)
+        mb.lookup(0x100, split=True)
+        mb.charge_shared_page_lookup()
+        assert stats["mb.lookup_offset"] == 1
+        assert stats["mb.lookup_page_shared"] == 1
+
+    def test_drain_returns_everything(self):
+        mb = MergeBuffer(entries=4)
+        mb.commit_store(layout.compose_line(2, 0), 4)
+        mb.commit_store(layout.compose_line(2, 1), 4)
+        drained = mb.drain()
+        assert len(drained) == 2
+        assert mb.occupancy == 0
+
+    def test_pop_oldest(self):
+        mb = MergeBuffer()
+        assert mb.pop_oldest() is None
+        mb.commit_store(layout.compose_line(3, 0), 4)
+        assert mb.pop_oldest().line_address == layout.compose_line(3, 0)
+
+    def test_store_count_accumulates(self):
+        mb = MergeBuffer()
+        mb.commit_store(0x200, 4)
+        mb.commit_store(0x208, 8)
+        entry = mb.lookup(0x200)
+        assert entry.store_count == 2
+        assert entry.dirty_bytes == 12

@@ -1,0 +1,36 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_prints_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "gzip" in output and "mcf" in output and "h263dec" in output
+
+    def test_compare_runs_three_configurations(self, capsys):
+        assert main(["compare", "gzip", "--instructions", "800", "--warmup", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "Base1ldst" in output and "Base2ld1st" in output and "MALEC" in output
+        assert "norm. time" in output
+
+    def test_figure4_sweep(self, capsys):
+        assert main(["figure4", "djpeg", "--instructions", "800", "--warmup", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "MALEC_3cycleL1" in output and "geo. mean" in output
+
+    def test_locality_command(self, capsys):
+        assert main(["locality", "gzip", "djpeg", "--instructions", "800"]) == 0
+        output = capsys.readouterr().out
+        assert "same line" in output and "djpeg" in output
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "not-a-benchmark"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,104 @@
+"""Tests for the shared statistics counters."""
+
+from repro.stats import StatCounters
+
+
+class TestBasics:
+    def test_counters_start_at_zero(self):
+        stats = StatCounters()
+        assert stats.get("anything") == 0.0
+        assert stats["anything"] == 0.0
+        assert "anything" not in stats
+
+    def test_add_and_get(self):
+        stats = StatCounters()
+        stats.add("l1.hit")
+        stats.add("l1.hit", 2)
+        assert stats.get("l1.hit") == 3
+        assert "l1.hit" in stats
+
+    def test_set_overwrites(self):
+        stats = StatCounters()
+        stats.add("x", 5)
+        stats.set("x", 2)
+        assert stats["x"] == 2
+
+    def test_len_and_iter(self):
+        stats = StatCounters()
+        stats.add("a")
+        stats.add("b")
+        assert len(stats) == 2
+        assert sorted(stats) == ["a", "b"]
+
+
+class TestAggregation:
+    def test_ratio(self):
+        stats = StatCounters()
+        stats.add("hits", 3)
+        stats.add("lookups", 4)
+        assert stats.ratio("hits", "lookups") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        stats = StatCounters()
+        stats.add("hits", 3)
+        assert stats.ratio("hits", "lookups") == 0.0
+
+    def test_total(self):
+        stats = StatCounters()
+        stats.add("a", 1)
+        stats.add("b", 2)
+        assert stats.total("a", "b", "missing") == 3
+
+    def test_with_prefix(self):
+        stats = StatCounters()
+        stats.add("l1.hit", 1)
+        stats.add("l1.miss", 2)
+        stats.add("tlb.hit", 3)
+        assert stats.with_prefix("l1.") == {"l1.hit": 1, "l1.miss": 2}
+
+    def test_merge(self):
+        a = StatCounters()
+        b = StatCounters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a["x"] == 3
+        assert a["y"] == 5
+
+    def test_update_from_mapping(self):
+        stats = StatCounters()
+        stats.update_from({"a": 2, "b": 3})
+        stats.update_from({"a": 1})
+        assert stats["a"] == 3
+        assert stats["b"] == 3
+
+    def test_clear(self):
+        stats = StatCounters()
+        stats.add("x")
+        stats.clear()
+        assert len(stats) == 0
+
+
+class TestPresentation:
+    def test_as_dict_snapshot_is_independent(self):
+        stats = StatCounters()
+        stats.add("x", 1)
+        snapshot = stats.as_dict()
+        stats.add("x", 1)
+        assert snapshot["x"] == 1
+        assert stats["x"] == 2
+
+    def test_summary_contains_counters(self):
+        stats = StatCounters()
+        stats.add("l1.hit", 10)
+        stats.add("tlb.miss", 1)
+        text = stats.summary()
+        assert "l1.hit" in text and "tlb.miss" in text
+
+    def test_summary_prefix_filter(self):
+        stats = StatCounters()
+        stats.add("l1.hit", 10)
+        stats.add("tlb.miss", 1)
+        text = stats.summary(prefix="l1.")
+        assert "l1.hit" in text and "tlb.miss" not in text

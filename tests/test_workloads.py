@@ -1,0 +1,229 @@
+"""Tests for the synthetic workload generators and the locality analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.locality import PageLocalityAnalyzer, RUN_LENGTH_BUCKETS
+from repro.cpu.instruction import InstructionKind
+from repro.memory.address import DEFAULT_LAYOUT
+from repro.workloads.profiles import BenchmarkProfile, StreamKind, StreamSpec
+from repro.workloads.suites import (
+    ALL_BENCHMARKS,
+    MEDIABENCH2,
+    SPEC_FP,
+    SPEC_INT,
+    benchmark_profile,
+    suite_profiles,
+)
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import MemoryTrace
+
+layout = DEFAULT_LAYOUT
+analyzer = PageLocalityAnalyzer()
+
+
+class TestProfilesRegistry:
+    def test_all_38_benchmarks_present(self):
+        assert len(ALL_BENCHMARKS) == 38
+        assert len(suite_profiles(SPEC_INT)) == 12
+        assert len(suite_profiles(SPEC_FP)) == 14
+        assert len(suite_profiles(MEDIABENCH2)) == 12
+
+    def test_paper_benchmarks_named(self):
+        for name in ("gzip", "mcf", "gap", "equake", "mgrid", "djpeg", "h263dec"):
+            assert name in ALL_BENCHMARKS
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_profile("doom")
+        with pytest.raises(ValueError):
+            suite_profiles("SPEC-2017")
+
+    def test_suite_memory_fractions_follow_paper(self):
+        """Sec. III: INT ~45 %, FP ~40 %, MB2 ~37 % memory references."""
+        int_avg = sum(p.memory_fraction for p in suite_profiles(SPEC_INT)) / 12
+        fp_avg = sum(p.memory_fraction for p in suite_profiles(SPEC_FP)) / 14
+        mb_avg = sum(p.memory_fraction for p in suite_profiles(MEDIABENCH2)) / 12
+        assert int_avg > fp_avg > mb_avg
+        assert 0.42 <= int_avg <= 0.48
+        assert 0.35 <= mb_avg <= 0.39
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(name="bad", suite=SPEC_INT, streams=())
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="bad", suite=SPEC_INT, memory_fraction=1.5,
+                streams=(StreamSpec(kind=StreamKind.HOT_REGION),),
+            )
+        with pytest.raises(ValueError):
+            StreamSpec(kind=StreamKind.HOT_REGION, weight=0)
+        with pytest.raises(ValueError):
+            StreamSpec(kind=StreamKind.HOT_REGION, page_stay_probability=2.0)
+
+
+class TestTraceGeneration:
+    def test_deterministic_per_profile(self):
+        profile = benchmark_profile("gzip")
+        a = generate_trace(profile, instructions=800)
+        b = generate_trace(profile, instructions=800)
+        assert [i.address for i in a if i.is_memory] == [
+            i.address for i in b if i.is_memory
+        ]
+
+    def test_different_benchmarks_differ(self):
+        a = generate_trace(benchmark_profile("gzip"), instructions=800)
+        b = generate_trace(benchmark_profile("mcf"), instructions=800)
+        assert [i.address for i in a if i.is_memory] != [
+            i.address for i in b if i.is_memory
+        ]
+
+    def test_requested_length(self):
+        trace = generate_trace(benchmark_profile("crafty"), instructions=500)
+        assert len(trace) == 500
+
+    def test_memory_fraction_close_to_profile(self):
+        profile = benchmark_profile("gzip")
+        trace = generate_trace(profile, instructions=6000)
+        assert abs(trace.memory_fraction - profile.memory_fraction) < 0.06
+
+    def test_load_store_ratio_near_two(self):
+        """Sec. III: load/store ratio of roughly 2:1."""
+        trace = generate_trace(benchmark_profile("gzip"), instructions=6000)
+        assert 1.5 <= trace.load_store_ratio <= 3.5
+
+    def test_addresses_within_address_space(self):
+        trace = generate_trace(benchmark_profile("swim"), instructions=2000)
+        for address in trace.memory_addresses():
+            assert 0 <= address <= layout.max_address
+
+    def test_dependencies_point_backwards(self):
+        trace = generate_trace(benchmark_profile("mcf"), instructions=2000)
+        for instruction in trace:
+            for distance in instruction.deps:
+                assert distance > 0
+                assert instruction.seq - distance >= -1
+
+    def test_mcf_has_pointer_chase_dependencies(self):
+        trace = generate_trace(benchmark_profile("mcf"), instructions=4000)
+        dependent_loads = sum(1 for i in trace if i.is_load and i.deps)
+        assert dependent_loads > 50
+
+    def test_mcf_footprint_much_larger_than_media(self):
+        mcf = generate_trace(benchmark_profile("mcf"), instructions=4000)
+        djpeg = generate_trace(benchmark_profile("djpeg"), instructions=4000)
+        assert mcf.footprint_pages() > 5 * djpeg.footprint_pages()
+
+    def test_trace_container_helpers(self):
+        trace = generate_trace(benchmark_profile("eon"), instructions=300)
+        head = trace.head(100)
+        assert len(head) == 100
+        assert head[0].kind == trace[0].kind
+        assert "eon" in trace.summary()
+        assert trace.footprint_lines() >= trace.footprint_pages()
+
+
+class TestPaperMotivation:
+    """Sec. III / Fig. 1: the statistics motivating page-based grouping."""
+
+    def test_overall_page_locality_near_70_percent(self):
+        values = []
+        for name in ("gzip", "gap", "crafty", "mesa", "djpeg", "h263dec", "mpeg2dec"):
+            trace = generate_trace(benchmark_profile(name), instructions=4000)
+            values.append(analyzer.same_page_follow_fraction(trace.load_addresses(), 0))
+        average = sum(values) / len(values)
+        assert 0.60 <= average <= 0.85
+
+    def test_intermediate_accesses_increase_coverage(self):
+        trace = generate_trace(benchmark_profile("gzip"), instructions=4000)
+        loads = trace.load_addresses()
+        series = [analyzer.same_page_follow_fraction(loads, n) for n in (0, 1, 2, 3)]
+        assert series == sorted(series)
+        assert series[3] > series[0]
+
+    def test_line_locality_lower_than_page_locality(self):
+        trace = generate_trace(benchmark_profile("gzip"), instructions=4000)
+        loads = trace.load_addresses()
+        line = analyzer.same_line_follow_fraction(loads)
+        page = analyzer.same_page_follow_fraction(loads, 0)
+        assert line < page
+        assert 0.2 <= line <= 0.7
+
+    def test_media_benchmarks_most_page_local(self):
+        def locality(name):
+            trace = generate_trace(benchmark_profile(name), instructions=4000)
+            return analyzer.same_page_follow_fraction(trace.load_addresses(), 0)
+
+        assert locality("h263dec") > locality("mcf")
+        assert locality("djpeg") > locality("mcf")
+
+
+class TestLocalityAnalyzer:
+    def test_follow_fraction_simple_sequence(self):
+        a = layout.compose(1, 0)
+        b = layout.compose(2, 0)
+        # a a b a : 2 of 3 transitions stay on the same page.
+        assert analyzer.same_page_follow_fraction([a, a, b, a], 0) == pytest.approx(1 / 3)
+        assert analyzer.same_page_follow_fraction([a, a, b, a], 1) == pytest.approx(2 / 3)
+
+    def test_same_line_follow(self):
+        a = layout.compose_line(1, 0, 0)
+        b = layout.compose_line(1, 0, 8)
+        c = layout.compose_line(1, 1, 0)
+        assert analyzer.same_line_follow_fraction([a, b, c]) == pytest.approx(0.5)
+
+    def test_short_sequences(self):
+        assert analyzer.same_page_follow_fraction([], 0) == 0.0
+        assert analyzer.same_page_follow_fraction([0x1000], 0) == 0.0
+        assert analyzer.same_line_follow_fraction([0x1000]) == 0.0
+
+    def test_run_distribution_sums_to_one(self):
+        trace = generate_trace(benchmark_profile("vpr"), instructions=2000)
+        distribution = analyzer.run_length_distribution(trace.load_addresses(), 1)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert set(distribution) == set(RUN_LENGTH_BUCKETS)
+
+    def test_run_distribution_all_same_page(self):
+        addresses = [layout.compose(1, i * 8) for i in range(20)]
+        distribution = analyzer.run_length_distribution(addresses, 0)
+        assert distribution["8<x"] == pytest.approx(1.0)
+
+    def test_run_distribution_alternating_pages(self):
+        a = layout.compose(1, 0)
+        b = layout.compose(2, 0)
+        strict = analyzer.run_length_distribution([a, b] * 10, 0)
+        tolerant = analyzer.run_length_distribution([a, b] * 10, 1)
+        # With no tolerated intermediates every access is a run of one; with
+        # one intermediate the alternating pattern fuses into long runs.
+        assert strict["x=1"] == pytest.approx(1.0)
+        assert tolerant["8<x"] == pytest.approx(1.0)
+
+    def test_negative_intermediates_rejected(self):
+        with pytest.raises(ValueError):
+            analyzer.same_page_follow_fraction([0x0, 0x1], -1)
+        with pytest.raises(ValueError):
+            analyzer.run_length_distribution([0x0], -1)
+
+    def test_full_report(self):
+        trace = generate_trace(benchmark_profile("cjpeg"), instructions=1500)
+        report = analyzer.analyze(trace.load_addresses(), intermediates=(0, 1, 2, 3))
+        assert report.accesses == len(trace.load_addresses())
+        assert set(report.follow_fraction) == {0, 1, 2, 3}
+        assert "same-line" in report.summary()
+
+    @given(st.lists(st.integers(min_value=0, max_value=layout.max_address), min_size=2, max_size=60))
+    @settings(max_examples=50)
+    def test_follow_fraction_monotone_in_window(self, addresses):
+        """Tolerating more intermediates can only increase the fraction."""
+        f0 = analyzer.same_page_follow_fraction(addresses, 0)
+        f2 = analyzer.same_page_follow_fraction(addresses, 2)
+        f5 = analyzer.same_page_follow_fraction(addresses, 5)
+        assert f0 <= f2 <= f5
+
+    @given(st.lists(st.integers(min_value=0, max_value=layout.max_address), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_run_distribution_is_a_distribution(self, addresses):
+        distribution = analyzer.run_length_distribution(addresses, 1)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert all(0 <= value <= 1 for value in distribution.values())
