@@ -14,10 +14,16 @@ regenerated tables).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.experiments import ExperimentRunner, ExperimentResults
 from repro.sim.config import SimulationConfig
+
+#: worker processes for the Fig. 4 sweep (results are bit-identical either
+#: way; set e.g. REPRO_BENCH_JOBS=4 to shorten the harness wall-clock)
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: representative benchmarks per suite (kept small so the harness stays fast;
 #: extend to repro.workloads.ALL_BENCHMARKS for a full sweep)
@@ -45,7 +51,7 @@ def figure4_results() -> ExperimentResults:
         benchmarks=FIG4_BENCHMARKS,
         warmup_fraction=WARMUP_FRACTION,
     )
-    return runner.run(SimulationConfig.figure4_suite())
+    return runner.run(SimulationConfig.figure4_suite(), jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.20"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
     classifiers=[
         "Development Status :: 5 - Production/Stable",
         "Intended Audience :: Science/Research",

@@ -47,6 +47,15 @@ from repro.sim.simulator import SimulationResult, Simulator, run_configuration
 from repro.stats import StatCounters
 from repro.analysis.experiments import ExperimentRunner, ExperimentResults
 from repro.analysis.locality import PageLocalityAnalyzer
+from repro.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    ParallelExecutor,
+    ResultStore,
+    campaign_preset,
+    results_from_store,
+    summarize_store,
+)
 
 __version__ = "1.0.0"
 
@@ -66,5 +75,12 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentResults",
     "PageLocalityAnalyzer",
+    "CampaignCell",
+    "CampaignSpec",
+    "ParallelExecutor",
+    "ResultStore",
+    "campaign_preset",
+    "results_from_store",
+    "summarize_store",
     "__version__",
 ]

@@ -4,17 +4,20 @@
 examples: it generates (and caches) the synthetic trace of each benchmark,
 runs every requested configuration over it and exposes the normalized
 execution-time and energy views the paper plots, including the per-suite
-geometric means.
+geometric means.  Execution itself is delegated to the campaign subsystem
+(:mod:`repro.campaign`), so the runner, the ``sweep`` CLI and the tests all
+share one engine — including process-pool parallelism (``jobs``) and
+store-backed resume (``store``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import geometric_mean
 from repro.sim.config import SimulationConfig
-from repro.sim.simulator import SimulationResult, run_configuration
+from repro.sim.simulator import SimulationResult
 from repro.workloads.suites import ALL_BENCHMARKS, SUITES, benchmark_profile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import MemoryTrace
@@ -50,11 +53,23 @@ class ExperimentResults:
 
     # ------------------------------------------------------------------
     def run_for(self, benchmark: str) -> BenchmarkRun:
-        """The :class:`BenchmarkRun` of ``benchmark``."""
-        for run in self.runs:
-            if run.benchmark == benchmark:
-                return run
-        raise KeyError(benchmark)
+        """The :class:`BenchmarkRun` of ``benchmark``.
+
+        Lookups are backed by a name->run index so repeated queries over a
+        large sweep avoid rescanning, while ``runs`` remains a plain list.
+        The index is invalidated by object identity of the list elements,
+        so appends, removals and in-place replacements are all detected;
+        duplicate benchmark names resolve to the first occurrence, matching
+        the original linear scan.
+        """
+        cached = getattr(self, "_run_index", None)
+        token = tuple(map(id, self.runs))
+        if cached is None or cached[0] != token:
+            # Reversed iteration: earlier occurrences overwrite later ones,
+            # preserving first-match semantics for duplicate names.
+            index = {run.benchmark: run for run in reversed(self.runs)}
+            self._run_index = cached = (token, index)
+        return cached[1][benchmark]
 
     def suites(self) -> List[str]:
         """Suites present in the sweep, in canonical order."""
@@ -120,26 +135,47 @@ class ExperimentRunner:
         self.instructions = instructions
         self.benchmarks = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
         self.warmup_fraction = warmup_fraction
-        self._trace_cache: Dict[str, MemoryTrace] = {}
+        # Keyed (benchmark, instructions, trace seed) — the campaign
+        # executor's cache shape, shared with it by run() so traces generated
+        # here and there are never produced twice.
+        self._trace_cache: Dict[Tuple[str, int, int], MemoryTrace] = {}
 
     # ------------------------------------------------------------------
     def trace_for(self, benchmark: str) -> MemoryTrace:
         """The (cached) synthetic trace of ``benchmark``."""
-        if benchmark not in self._trace_cache:
-            profile = benchmark_profile(benchmark)
-            self._trace_cache[benchmark] = generate_trace(profile, self.instructions)
-        return self._trace_cache[benchmark]
+        profile = benchmark_profile(benchmark)
+        key = (benchmark, self.instructions, profile.seed)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = generate_trace(profile, self.instructions)
+        return self._trace_cache[key]
 
-    def run(self, configurations: Sequence[SimulationConfig]) -> ExperimentResults:
-        """Run every configuration over every selected benchmark."""
-        results = ExperimentResults(configurations=[config.name for config in configurations])
-        for benchmark in self.benchmarks:
-            profile = benchmark_profile(benchmark)
-            trace = self.trace_for(benchmark)
-            run = BenchmarkRun(benchmark=benchmark, suite=profile.suite)
-            for config in configurations:
-                run.results[config.name] = run_configuration(
-                    config, trace, warmup_fraction=self.warmup_fraction
-                )
-            results.runs.append(run)
-        return results
+    def run(
+        self,
+        configurations: Sequence[SimulationConfig],
+        jobs: int = 1,
+        store=None,
+        progress=None,
+    ) -> ExperimentResults:
+        """Run every configuration over every selected benchmark.
+
+        ``jobs`` fans the sweep out over that many worker processes;
+        ``store`` (a :class:`~repro.campaign.store.ResultStore`) persists
+        every cell and lets a repeated run resume instead of recompute;
+        ``progress`` is forwarded to the executor (see
+        :class:`~repro.campaign.executor.ParallelExecutor`).
+        """
+        # Imported here: repro.campaign builds on this module's result types.
+        from repro.campaign.executor import ParallelExecutor
+        from repro.campaign.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            name="experiment",
+            configurations=tuple(configurations),
+            benchmarks=tuple(self.benchmarks),
+            instructions=self.instructions,
+            warmup_fraction=self.warmup_fraction,
+        )
+        executor = ParallelExecutor(
+            jobs=jobs, store=store, progress=progress, trace_cache=self._trace_cache
+        )
+        return executor.run(spec)

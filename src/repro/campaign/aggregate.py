@@ -1,0 +1,140 @@
+"""Rebuild analysis views straight from a persisted campaign store.
+
+Execution and analysis are decoupled: a sweep writes one JSON record per
+cell (possibly over several resumed invocations, possibly from many worker
+processes), and this module turns a :class:`~repro.campaign.store.ResultStore`
+back into the :class:`~repro.analysis.experiments.ExperimentResults` object
+every existing geomean/normalization helper operates on — no simulation, no
+trace generation, just reading the directory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import BenchmarkRun, ExperimentResults
+from repro.analysis.reporting import format_table
+from repro.campaign.store import ResultStore, result_from_dict
+from repro.workloads.suites import ALL_BENCHMARKS
+
+
+def results_from_store(
+    store: ResultStore,
+    instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    warmup_fraction: Optional[float] = None,
+) -> ExperimentResults:
+    """Assemble :class:`ExperimentResults` from every matching stored cell.
+
+    ``instructions`` / ``seed`` / ``warmup_fraction`` filter the records
+    (useful when one store accumulated sweeps at several trace lengths); by
+    default all records are used.  A store holding two records for the same
+    (benchmark, configuration) pair after filtering is ambiguous and raises
+    ``ValueError`` — pass filters to disambiguate.
+    """
+    by_benchmark: Dict[str, BenchmarkRun] = {}
+    config_order: List[str] = []
+    seen: set = set()
+    for record in store.records():
+        if instructions is not None and record["instructions"] != instructions:
+            continue
+        if seed is not None and record["seed"] != seed:
+            continue
+        if warmup_fraction is not None and record["warmup_fraction"] != warmup_fraction:
+            continue
+        benchmark = record["benchmark"]
+        config_name = record["config_name"]
+        pair = (benchmark, config_name)
+        if pair in seen:
+            raise ValueError(
+                f"store holds multiple records for {pair}; "
+                "filter by instructions/seed to disambiguate"
+            )
+        seen.add(pair)
+        run = by_benchmark.get(benchmark)
+        if run is None:
+            run = by_benchmark[benchmark] = BenchmarkRun(
+                benchmark=benchmark, suite=record["suite"]
+            )
+        run.results[config_name] = result_from_dict(record["result"])
+        if config_name not in config_order:
+            config_order.append(config_name)
+
+    manifest = store.manifest()
+    if manifest is not None:
+        # Present configurations in the order the campaign declared them.
+        declared = [config["name"] for config in manifest["configurations"]]
+        config_order = [name for name in declared if name in config_order] + [
+            name for name in config_order if name not in declared
+        ]
+
+    canonical = {name: index for index, name in enumerate(ALL_BENCHMARKS)}
+    ordered = sorted(
+        by_benchmark.values(),
+        key=lambda run: (canonical.get(run.benchmark, len(canonical)), run.benchmark),
+    )
+    return ExperimentResults(runs=list(ordered), configurations=config_order)
+
+
+def summarize_results(
+    results: ExperimentResults, baseline: Optional[str] = None
+) -> str:
+    """Human-readable geomean summary of assembled sweep results.
+
+    ``baseline`` defaults to the first configuration.  Benchmarks missing
+    the baseline or any configuration are reported as incomplete rather
+    than silently dropped.
+    """
+    if not results.runs:
+        return "store is empty"
+    names = results.configurations
+    base = baseline or names[0]
+
+    complete = [
+        run for run in results.runs if all(name in run.results for name in names)
+    ]
+    incomplete = len(results.runs) - len(complete)
+    view = ExperimentResults(runs=complete, configurations=names)
+
+    rows: List[List[object]] = []
+    for suite in view.suites():
+        geo_time = view.geomean_normalized_cycles(base, suite=suite)
+        geo_energy = view.geomean_normalized_energy(base, suite=suite)
+        rows.append([f"geo. mean {suite} (time)"] + [geo_time[name] for name in names])
+        rows.append([f"geo. mean {suite} (energy)"] + [geo_energy[name] for name in names])
+    geo_time = view.geomean_normalized_cycles(base)
+    geo_energy = view.geomean_normalized_energy(base)
+    rows.append(["geo. mean all (time)"] + [geo_time[name] for name in names])
+    rows.append(["geo. mean all (energy)"] + [geo_energy[name] for name in names])
+
+    lines = [
+        f"campaign: {len(view.runs)} benchmarks x {len(names)} configurations "
+        f"(normalized to {base})"
+    ]
+    if incomplete:
+        lines.append(f"note: {incomplete} benchmark(s) incomplete, excluded from means")
+    lines.append(format_table(["series"] + list(names), rows))
+    return "\n".join(lines)
+
+
+def summarize_store(
+    store: ResultStore,
+    baseline: Optional[str] = None,
+    instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    warmup_fraction: Optional[float] = None,
+) -> str:
+    """Geomean summary of a campaign directory (see :func:`summarize_results`).
+
+    The filters are forwarded to :func:`results_from_store`; pass them when
+    the directory accumulated sweeps at several trace lengths or seeds.
+    """
+    return summarize_results(
+        results_from_store(
+            store,
+            instructions=instructions,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+        ),
+        baseline=baseline,
+    )

@@ -1,0 +1,237 @@
+"""Campaign execution: fan a sweep out over a process pool, resume from a store.
+
+:class:`ParallelExecutor` turns a :class:`~repro.campaign.spec.CampaignSpec`
+into an :class:`~repro.analysis.experiments.ExperimentResults`:
+
+* cells already present in the attached :class:`~repro.campaign.store.ResultStore`
+  are loaded instead of re-simulated (incremental resume);
+* pending cells run either serially in-process or on a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``), with graceful
+  fallback to the serial path when the platform cannot spawn worker
+  processes (restricted sandboxes) or the pool breaks mid-sweep;
+* every worker regenerates traces locally — traces are pure functions of
+  ``(benchmark profile, instruction count, seed)``, so nothing large crosses
+  the process boundary — and caches them per process, so a worker that
+  simulates several configurations of one benchmark generates its trace once;
+* simulation itself is deterministic (seeded RNGs everywhere), so serial and
+  parallel sweeps of the same spec produce bit-identical results.
+
+Progress is reported through an optional callback
+``progress(event, cell, done, total)`` with ``event`` one of ``"skipped"``
+(loaded from the store), ``"completed"`` (freshly simulated).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import BenchmarkRun, ExperimentResults
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
+from repro.sim.simulator import SimulationResult, run_configuration
+from repro.workloads.suites import benchmark_profile
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import MemoryTrace
+
+#: (benchmark, instructions, trace seed) -> generated trace
+TraceCache = Dict[Tuple[str, int, int], MemoryTrace]
+
+ProgressCallback = Callable[[str, CampaignCell, int, int], None]
+
+#: per-process trace cache used by pool workers (module-level so it survives
+#: across the many cells one worker executes)
+_WORKER_TRACES: TraceCache = {}
+
+
+def _cached_trace(cell: CampaignCell, cache: TraceCache) -> MemoryTrace:
+    """Generate (or fetch) the deterministic trace of ``cell``."""
+    key = (cell.benchmark, cell.instructions, cell.trace_seed())
+    if key not in cache:
+        profile = benchmark_profile(cell.benchmark)
+        cache[key] = generate_trace(
+            profile, instructions=cell.instructions, seed=cell.trace_seed()
+        )
+    return cache[key]
+
+
+def _execute_cell(cell: CampaignCell, cache: TraceCache) -> SimulationResult:
+    """Run one cell's simulation using ``cache`` for trace reuse."""
+    trace = _cached_trace(cell, cache)
+    return run_configuration(cell.config, trace, warmup_fraction=cell.warmup_fraction)
+
+
+def _pool_worker(cells: List[CampaignCell]) -> List[Tuple[str, dict]]:
+    """Process-pool entry point: simulate one benchmark's batch of cells.
+
+    Each task is the group of pending cells sharing one trace, so the trace
+    is generated exactly once per group regardless of which worker picks the
+    task up.  Results cross the process boundary as plain dictionaries (the
+    store's JSON shape) rather than live objects, keeping the pickled
+    payload small and identical to what lands on disk.
+    """
+    return [
+        (cell.key(), result_to_dict(_execute_cell(cell, _WORKER_TRACES)))
+        for cell in cells
+    ]
+
+
+class ParallelExecutor:
+    """Executes campaign specs; the one engine behind runner, CLI and tests.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs serially in-process.
+    store:
+        Optional :class:`ResultStore`. When given, completed cells are
+        persisted as they finish and already-stored cells are skipped.
+    progress:
+        Optional ``progress(event, cell, done, total)`` callback.
+    trace_cache:
+        Optional externally-owned trace cache used by the serial path, so a
+        caller running several sweeps (e.g. :class:`ExperimentRunner`) reuses
+        generated traces across runs.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+        trace_cache: Optional[TraceCache] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress
+        self.trace_cache: TraceCache = trace_cache if trace_cache is not None else {}
+        #: cells loaded from the store / freshly simulated by the last run()
+        self.skipped_cells: List[CampaignCell] = []
+        self.completed_cells: List[CampaignCell] = []
+        #: True if the last run() actually used a process pool
+        self.used_pool = False
+
+    # ------------------------------------------------------------------
+    def run(self, spec: CampaignSpec) -> ExperimentResults:
+        """Execute ``spec`` and return the assembled sweep results."""
+        self.skipped_cells = []
+        self.completed_cells = []
+        self.used_pool = False
+        if self.store is not None:
+            self.store.write_manifest(spec)
+
+        cells = spec.cells()
+        total = len(cells)
+        done = 0
+        results: Dict[str, SimulationResult] = {}
+
+        pending: List[CampaignCell] = []
+        for cell in cells:
+            stored = self.store.get(cell) if self.store is not None else None
+            if stored is not None:
+                results[cell.key()] = stored
+                self.skipped_cells.append(cell)
+                done += 1
+                self._report("skipped", cell, done, total)
+            else:
+                pending.append(cell)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                done = self._run_pool(pending, results, done, total)
+            # Any cells a broken pool failed to deliver fall through to the
+            # serial path, which always finishes the sweep.
+            remaining = [cell for cell in pending if cell.key() not in results]
+            for cell in remaining:
+                result = _execute_cell(cell, self.trace_cache)
+                done = self._record(cell, result, results, done, total)
+
+        return self._assemble(spec, results)
+
+    # ------------------------------------------------------------------
+    def _report(self, event: str, cell: CampaignCell, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(event, cell, done, total)
+
+    def _record(
+        self,
+        cell: CampaignCell,
+        result: SimulationResult,
+        results: Dict[str, SimulationResult],
+        done: int,
+        total: int,
+    ) -> int:
+        results[cell.key()] = result
+        if self.store is not None:
+            self.store.put(cell, result)
+        self.completed_cells.append(cell)
+        done += 1
+        self._report("completed", cell, done, total)
+        return done
+
+    def _run_pool(
+        self,
+        pending: List[CampaignCell],
+        results: Dict[str, SimulationResult],
+        done: int,
+        total: int,
+    ) -> int:
+        """Run ``pending`` on a process pool; returns the updated done count.
+
+        Pool failures (platforms without working multiprocessing, workers
+        killed mid-sweep) are swallowed: whatever cells did not complete stay
+        absent from ``results`` and the caller re-runs them serially.
+        """
+        by_key = {cell.key(): cell for cell in pending}
+        # One task per trace group (benchmark at one length/seed): whichever
+        # worker picks a task up generates that group's trace exactly once.
+        groups: Dict[Tuple[str, int, int], List[CampaignCell]] = {}
+        for cell in pending:
+            groups.setdefault(
+                (cell.benchmark, cell.instructions, cell.trace_seed()), []
+            ).append(cell)
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(_pool_worker, batch) for batch in groups.values()
+                }
+                self.used_pool = True
+                while futures:
+                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        for key, payload in future.result():
+                            done = self._record(
+                                by_key[key],
+                                result_from_dict(payload),
+                                results,
+                                done,
+                                total,
+                            )
+        except (OSError, PermissionError, RuntimeError):
+            # BrokenProcessPool is a RuntimeError subclass; treat every pool
+            # breakage the same — finish serially.
+            pass
+        return done
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self, spec: CampaignSpec, results: Dict[str, SimulationResult]
+    ) -> ExperimentResults:
+        experiment = ExperimentResults(configurations=spec.configuration_names())
+        for benchmark in spec.benchmarks:
+            run = BenchmarkRun(
+                benchmark=benchmark, suite=benchmark_profile(benchmark).suite
+            )
+            for config in spec.configurations:
+                cell = CampaignCell(
+                    benchmark=benchmark,
+                    config=config,
+                    instructions=spec.instructions,
+                    warmup_fraction=spec.warmup_fraction,
+                    seed=spec.seed,
+                )
+                run.results[config.name] = results[cell.key()]
+            experiment.runs.append(run)
+        return experiment

@@ -1,0 +1,160 @@
+"""Persistent campaign result store: one JSON record per simulated cell.
+
+Layout of a campaign directory::
+
+    <root>/
+        campaign.json          # manifest of the spec that (last) ran here
+        cells/
+            <key>.json         # one record per completed cell
+
+Every record carries the cell identity (benchmark, suite, full configuration
+fingerprint, trace length, warm-up, seed), its deterministic key and the
+complete :class:`~repro.sim.simulator.SimulationResult` — counters, derived
+stats and the per-structure energy report — so analyses can be rebuilt from
+the directory alone, without re-running any simulation.
+
+Records are written atomically (temp file + ``os.replace``), so an
+interrupted sweep never leaves a truncated record behind and a re-run simply
+resumes from the cells that finished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.campaign.spec import CampaignCell, CampaignSpec, config_to_dict
+from repro.energy.accounting import EnergyReport, StructureEnergy
+from repro.sim.simulator import SimulationResult
+from repro.workloads.suites import benchmark_profile
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialization
+# ----------------------------------------------------------------------
+def result_to_dict(result: SimulationResult) -> dict:
+    """JSON-able dictionary capturing a complete :class:`SimulationResult`."""
+    return {
+        "config_name": result.config_name,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "loads": result.loads,
+        "stores": result.stores,
+        "stats": dict(result.stats),
+        "energy": {
+            "cycles": result.energy.cycles,
+            "structures": {
+                name: {"dynamic_pj": item.dynamic_pj, "leakage_pj": item.leakage_pj}
+                for name, item in result.energy.structures.items()
+            },
+        },
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` output."""
+    energy = EnergyReport(
+        cycles=data["energy"]["cycles"],
+        structures={
+            name: StructureEnergy(
+                dynamic_pj=item["dynamic_pj"], leakage_pj=item["leakage_pj"]
+            )
+            for name, item in data["energy"]["structures"].items()
+        },
+    )
+    return SimulationResult(
+        config_name=data["config_name"],
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        loads=data["loads"],
+        stores=data["stores"],
+        energy=energy,
+        stats=dict(data["stats"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Directory-backed store of campaign cell results, keyed by content hash.
+
+    The store is safe to share between the worker processes of one sweep and
+    between successive sweeps: keys are pure functions of the cell content,
+    writes are atomic, and :meth:`get` reads straight from disk.
+    """
+
+    MANIFEST = "campaign.json"
+    CELL_DIR = "cells"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.cell_dir = self.root / self.CELL_DIR
+        self.cell_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _cell_path(self, key: str) -> Path:
+        return self.cell_dir / f"{key}.json"
+
+    def _atomic_write(self, path: Path, payload: dict) -> None:
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def contains(self, cell: CampaignCell) -> bool:
+        """True if this cell's result has already been persisted."""
+        return self._cell_path(cell.key()).exists()
+
+    __contains__ = contains
+
+    def put(self, cell: CampaignCell, result: SimulationResult) -> str:
+        """Persist one cell result; returns the cell key."""
+        key = cell.key()
+        record = {
+            "key": key,
+            "benchmark": cell.benchmark,
+            "suite": benchmark_profile(cell.benchmark).suite,
+            "config_name": cell.config.name,
+            "config": config_to_dict(cell.config),
+            "instructions": cell.instructions,
+            "warmup_fraction": cell.warmup_fraction,
+            "seed": cell.seed,
+            "result": result_to_dict(result),
+        }
+        self._atomic_write(self._cell_path(key), record)
+        return key
+
+    def get(self, cell: CampaignCell) -> Optional[SimulationResult]:
+        """The stored result of ``cell``, or ``None`` if it has not run yet."""
+        path = self._cell_path(cell.key())
+        if not path.exists():
+            return None
+        return result_from_dict(json.loads(path.read_text())["result"])
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Keys of all persisted cells (sorted for determinism)."""
+        return sorted(path.stem for path in self.cell_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def records(self) -> Iterator[dict]:
+        """Iterate over all persisted records, in key order."""
+        for key in self.keys():
+            yield json.loads(self._cell_path(key).read_text())
+
+    # ------------------------------------------------------------------
+    def write_manifest(self, spec: CampaignSpec) -> None:
+        """Record the campaign spec that produced (or extended) this store."""
+        self._atomic_write(self.root / self.MANIFEST, spec.describe())
+
+    def manifest(self) -> Optional[dict]:
+        """The stored campaign manifest, or ``None`` for a bare cell store."""
+        path = self.root / self.MANIFEST
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())

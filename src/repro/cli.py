@@ -1,6 +1,8 @@
 """Command-line front end: ``python -m repro <command>``.
 
-Three sub-commands cover the common workflows without writing any Python:
+The sub-commands cover the common workflows without writing any Python (see
+the top-level ``README.md`` for a full walk-through and the campaign
+directory layout):
 
 ``compare``
     Run one benchmark through a chosen set of configurations and print
@@ -8,7 +10,14 @@ Three sub-commands cover the common workflows without writing any Python:
 
 ``figure4``
     Sweep the five Fig. 4 configurations over one or more benchmarks and
-    print the per-benchmark and geometric-mean normalized results.
+    print the per-benchmark and geometric-mean normalized results
+    (``--jobs N`` fans the sweep out over worker processes).
+
+``sweep``
+    Run a named campaign preset (``fig4``, ``fig4-mini``, ``sec6d``) through
+    the parallel campaign engine.  With ``--out DIR`` every (configuration,
+    benchmark) cell is persisted as one JSON record and a repeated
+    invocation resumes — already-completed cells are skipped.
 
 ``locality``
     Print the Sec. III / Fig. 1 page- and line-locality statistics of one or
@@ -17,7 +26,9 @@ Three sub-commands cover the common workflows without writing any Python:
 Examples::
 
     python -m repro compare gzip
-    python -m repro figure4 gzip djpeg mcf --instructions 4000
+    python -m repro figure4 gzip djpeg mcf --instructions 4000 --jobs 4
+    python -m repro sweep fig4 --jobs 4 --out results/fig4
+    python -m repro sweep sec6d --jobs 2 --out results/sec6d
     python -m repro locality h263dec swim
     python -m repro list
 """
@@ -25,11 +36,16 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.locality import PageLocalityAnalyzer
 from repro.analysis.reporting import format_table
+from repro.campaign.aggregate import summarize_results, summarize_store
+from repro.campaign.executor import ParallelExecutor
+from repro.campaign.spec import PRESET_NAMES, campaign_preset
+from repro.campaign.store import ResultStore
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import run_configuration
 from repro.workloads.suites import ALL_BENCHMARKS, benchmark_profile
@@ -38,16 +54,30 @@ from repro.workloads.synthetic import generate_trace
 _FIG4_ORDER = ["Base1ldst", "Base2ld1st_1cycleL1", "Base2ld1st", "MALEC", "MALEC_3cycleL1"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _warmup_fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(f"must lie in [0, 1), got {value}")
+    return value
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--instructions",
-        type=int,
+        type=_positive_int,
         default=5000,
         help="dynamic instructions per benchmark trace (default: 5000)",
     )
     parser.add_argument(
         "--warmup",
-        type=float,
+        type=_warmup_fraction,
         default=0.3,
         help="fraction of the trace used to warm caches/TLBs (default: 0.3)",
     )
@@ -71,6 +101,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure4.add_argument("benchmarks", nargs="+", choices=sorted(ALL_BENCHMARKS))
     _add_common_options(figure4)
+    figure4.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep (default: 1 = serial)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", help="run a campaign preset through the parallel sweep engine"
+    )
+    sweep.add_argument("preset", choices=list(PRESET_NAMES))
+    sweep.add_argument(
+        "--benchmarks",
+        nargs="+",
+        choices=sorted(ALL_BENCHMARKS),
+        default=None,
+        help="restrict the preset to these benchmarks (default: preset's grid)",
+    )
+    sweep.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=None,
+        help="override the preset's per-benchmark trace length",
+    )
+    sweep.add_argument(
+        "--warmup",
+        type=_warmup_fraction,
+        default=None,
+        help="override the preset's warm-up fraction",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep (default: 1 = serial)",
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="campaign directory: persist one JSON record per cell and "
+        "resume on re-runs (default: in-memory only)",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
 
     locality = commands.add_parser(
         "locality", help="print Sec. III / Fig. 1 locality statistics"
@@ -127,13 +203,59 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = campaign_preset(args.preset).with_overrides(
+        benchmarks=args.benchmarks,
+        instructions=args.instructions,
+        warmup_fraction=args.warmup,
+    )
+    store = ResultStore(args.out) if args.out is not None else None
+
+    def progress(event: str, cell, done: int, total: int) -> None:
+        if args.quiet:
+            return
+        label = "skip" if event == "skipped" else "run "
+        print(
+            f"[{done:>4d}/{total}] {label} {cell.benchmark:<12s} {cell.config.name}",
+            file=sys.stderr,
+        )
+
+    executor = ParallelExecutor(jobs=args.jobs, store=store, progress=progress)
+    results = executor.run(spec)
+    ran, skipped = len(executor.completed_cells), len(executor.skipped_cells)
+    print(
+        f"campaign '{spec.name}': {ran} cell(s) simulated, {skipped} resumed "
+        f"from store ({'serial' if not executor.used_pool else f'{args.jobs} jobs'})"
+    )
+    baseline = spec.configuration_names()[0]
+    if store is not None:
+        print(f"results: {store.root} ({len(store)} records)")
+        print()
+        # Summarize the whole directory (it may hold more benchmarks than
+        # this invocation swept), filtered to this sweep's grid parameters
+        # so records from earlier sweeps at other settings don't collide.
+        print(
+            summarize_store(
+                store,
+                baseline=baseline,
+                instructions=spec.instructions,
+                seed=spec.seed,
+                warmup_fraction=spec.warmup_fraction,
+            )
+        )
+    else:
+        print()
+        print(summarize_results(results, baseline=baseline))
+    return 0
+
+
 def _cmd_figure4(args: argparse.Namespace) -> int:
     runner = ExperimentRunner(
         instructions=args.instructions,
         benchmarks=args.benchmarks,
         warmup_fraction=args.warmup,
     )
-    results = runner.run(SimulationConfig.figure4_suite())
+    results = runner.run(SimulationConfig.figure4_suite(), jobs=args.jobs)
     rows = []
     for run in results.runs:
         cycles = run.normalized_cycles("Base1ldst")
@@ -184,6 +306,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "figure4":
         return _cmd_figure4(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "locality":
         return _cmd_locality(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

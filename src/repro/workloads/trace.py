@@ -9,11 +9,21 @@ characteristics.
 
 from __future__ import annotations
 
+import gzip
+import json
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.cpu.instruction import Instruction, InstructionKind
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
+
+
+def _open_text(path: Union[str, Path], mode: str) -> IO[str]:
+    """Open ``path`` as text, transparently gzipped for ``.gz`` names."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
 
 
 @dataclass
@@ -58,6 +68,70 @@ class MemoryTrace:
             for i in self.instructions[:count]
         ]
         return MemoryTrace(name=self.name, instructions=sliced, suite=self.suite, layout=self.layout)
+
+    # ------------------------------------------------------------------
+    # On-disk JSONL format (worker/user trace caching)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON lines; ``.gz`` paths are gzip-compressed.
+
+        The first line is a header object carrying the trace metadata (name,
+        suite, address layout); every following line is one instruction.
+        Memory-less fields are omitted per line, so compute instructions
+        serialize to a few bytes.  Campaign workers and users can cache
+        generated traces with this instead of regenerating them per process.
+        """
+        with _open_text(path, "w") as handle:
+            header = {
+                "name": self.name,
+                "suite": self.suite,
+                "layout": {
+                    "address_bits": self.layout.address_bits,
+                    "page_bytes": self.layout.page_bytes,
+                    "line_bytes": self.layout.line_bytes,
+                    "l1_capacity_bytes": self.layout.l1_capacity_bytes,
+                    "l1_associativity": self.layout.l1_associativity,
+                    "l1_banks": self.layout.l1_banks,
+                    "subblock_bytes": self.layout.subblock_bytes,
+                },
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for instruction in self.instructions:
+                record = {"k": instruction.kind.value}
+                if instruction.address is not None:
+                    record["a"] = instruction.address
+                    record["s"] = instruction.size
+                if instruction.deps:
+                    record["d"] = list(instruction.deps)
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path]) -> "MemoryTrace":
+        """Load a trace written by :meth:`to_jsonl` (gzip-aware)."""
+        with _open_text(path, "r") as handle:
+            header_line = handle.readline()
+            if not header_line.strip():
+                raise ValueError(f"{path}: empty trace file")
+            header = json.loads(header_line)
+            instructions = []
+            for line in handle:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                instructions.append(
+                    Instruction(
+                        kind=InstructionKind(record["k"]),
+                        address=record.get("a"),
+                        size=record.get("s", 4),
+                        deps=tuple(record.get("d", ())),
+                    )
+                )
+        return cls(
+            name=header["name"],
+            instructions=instructions,
+            suite=header.get("suite", ""),
+            layout=AddressLayout(**header["layout"]),
+        )
 
     # ------------------------------------------------------------------
     # Derived statistics (Sec. III characteristics)

@@ -22,6 +22,66 @@ class TestCli:
         output = capsys.readouterr().out
         assert "MALEC_3cycleL1" in output and "geo. mean" in output
 
+    def test_figure4_parallel_jobs(self, capsys):
+        assert main(
+            ["figure4", "djpeg", "gzip", "--instructions", "600", "--warmup", "0.2", "--jobs", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "geo. mean" in output
+
+    def test_sweep_in_memory(self, capsys):
+        assert main(
+            ["sweep", "fig4-mini", "--instructions", "500", "--quiet"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "15 cell(s) simulated" in output
+        assert "geo. mean all (time)" in output
+
+    def test_sweep_with_store_resumes(self, capsys, tmp_path):
+        out = str(tmp_path / "camp")
+        argv = [
+            "sweep", "fig4-mini",
+            "--benchmarks", "gzip", "djpeg",
+            "--instructions", "500",
+            "--out", out,
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "10 cell(s) simulated, 0 resumed" in first
+        assert "10 records" in first
+        # Second invocation against the same directory skips every cell.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 cell(s) simulated, 10 resumed" in second
+        assert "geo. mean all (time)" in second
+
+    def test_sweep_mixed_instruction_store_summarizes(self, capsys, tmp_path):
+        # A directory holding records at another trace length must not break
+        # the summary: the sweep filters to its own grid parameters.
+        out = str(tmp_path / "camp")
+        base = ["sweep", "fig4-mini", "--benchmarks", "gzip", "--out", out, "--quiet"]
+        assert main(base + ["--instructions", "400"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--instructions", "500"]) == 0
+        output = capsys.readouterr().out
+        assert "geo. mean all (time)" in output
+        assert "10 records" in output  # both sweeps' cells persisted
+
+    def test_sweep_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "not-a-preset"])
+
+    def test_sweep_invalid_flag_values_rejected(self):
+        for argv in (
+            ["sweep", "fig4-mini", "--jobs", "0"],
+            ["sweep", "fig4-mini", "--instructions", "0"],
+            ["sweep", "fig4-mini", "--warmup", "1.5"],
+            ["figure4", "gzip", "--jobs", "-3"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
     def test_locality_command(self, capsys):
         assert main(["locality", "gzip", "djpeg", "--instructions", "800"]) == 0
         output = capsys.readouterr().out

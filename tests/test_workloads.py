@@ -63,6 +63,53 @@ class TestProfilesRegistry:
             StreamSpec(kind=StreamKind.HOT_REGION, page_stay_probability=2.0)
 
 
+class TestTraceJsonl:
+    @pytest.mark.parametrize("suffix", ["jsonl", "jsonl.gz"])
+    def test_round_trip(self, tmp_path, suffix):
+        original = generate_trace(benchmark_profile("gzip"), instructions=600)
+        path = tmp_path / f"gzip.{suffix}"
+        original.to_jsonl(path)
+        restored = MemoryTrace.from_jsonl(path)
+        assert restored.name == original.name
+        assert restored.suite == original.suite
+        assert restored.layout == original.layout
+        assert len(restored) == len(original)
+        for left, right in zip(original, restored):
+            assert left.kind is right.kind
+            assert left.address == right.address
+            assert left.size == right.size
+            assert left.deps == right.deps
+            assert left.seq == right.seq
+
+    def test_gzip_file_is_actually_compressed(self, tmp_path):
+        trace = generate_trace(benchmark_profile("gzip"), instructions=600)
+        plain, packed = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        trace.to_jsonl(plain)
+        trace.to_jsonl(packed)
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            MemoryTrace.from_jsonl(path)
+
+    def test_simulation_on_reloaded_trace_matches(self, tmp_path):
+        from repro.sim.config import SimulationConfig
+        from repro.sim.simulator import run_configuration
+
+        trace = generate_trace(benchmark_profile("djpeg"), instructions=600)
+        path = tmp_path / "djpeg.jsonl.gz"
+        trace.to_jsonl(path)
+        reloaded = MemoryTrace.from_jsonl(path)
+        config = SimulationConfig.malec()
+        direct = run_configuration(config, trace, warmup_fraction=0.25)
+        cached = run_configuration(config, reloaded, warmup_fraction=0.25)
+        assert direct.cycles == cached.cycles
+        assert direct.stats == cached.stats
+
+
 class TestTraceGeneration:
     def test_deterministic_per_profile(self):
         profile = benchmark_profile("gzip")
