@@ -1,0 +1,303 @@
+"""Performance micro-harness behind ``repro bench``.
+
+The ROADMAP's north star is a simulator that runs "as fast as the hardware
+allows", which only means something if speed is *measured, recorded and
+comparable across PRs*.  This module times the three workloads that dominate
+every real use of the repository:
+
+``trace_generation``
+    Synthesising the per-benchmark instruction traces (pure workload-model
+    cost, no simulation).
+
+``single_config_run``
+    One (configuration, trace) simulation — the unit of work every sweep
+    parallelises — using the MALEC configuration on ``gzip``.
+
+``fig4_mini_sweep``
+    The ``fig4-mini`` campaign preset through the serial executor: the
+    smallest end-to-end sweep that exercises trace caching, all five Fig. 4
+    configurations and result assembly.
+
+``figure4_gzip_djpeg_mcf``
+    The exact workload of ``repro figure4 gzip djpeg mcf --instructions
+    4000`` (the repository's canonical perf-acceptance command), run through
+    the experiment runner.  Unlike ``fig4-mini`` it includes ``mcf``, whose
+    pointer-chasing stalls exercise the pipeline's idle fast-forward.
+
+Each scenario runs ``repeats`` times and reports the *minimum* wall time
+(the usual best-of-N convention: the minimum is the least noisy estimator of
+the true cost on a time-shared machine).  Results are written as
+``BENCH_<rev>.json`` — see ``benchmarks/perf/README.md`` for the schema and
+the workflow expected of optimisation PRs (attach before/after files).
+
+The harness deliberately depends only on the public simulator API, so the
+numbers survive internal rewrites — which is the point: the hot-path
+refactors this repository undergoes must keep results bit-identical (the
+golden tests check that) while moving these numbers down.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.campaign.executor import ParallelExecutor
+from repro.campaign.spec import campaign_preset
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import run_configuration
+from repro.workloads.suites import benchmark_profile
+from repro.workloads.synthetic import generate_trace
+
+#: benchmarks timed by the trace-generation scenario (one per suite)
+TRACE_BENCHMARKS = ("gzip", "djpeg", "mcf")
+
+#: benchmark driven through the single-configuration scenario
+SINGLE_RUN_BENCHMARK = "gzip"
+
+#: file-name prefix of every result file written by the harness
+BENCH_PREFIX = "BENCH_"
+
+#: current schema version of the emitted JSON
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class ScenarioResult:
+    """Timing of one scenario: every repeat plus derived best-of-N values."""
+
+    name: str
+    runs: List[float]
+    #: scenario-specific metadata (instruction counts, cycles, cells, ...)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Best (minimum) wall time across the repeats."""
+        return min(self.runs)
+
+    def as_dict(self) -> dict:
+        """JSON-able representation stored in the ``BENCH_*.json`` file."""
+        payload = dict(self.details)
+        # Reserved keys always reflect the timing, never scenario details.
+        payload["seconds"] = self.seconds
+        payload["runs"] = self.runs
+        return payload
+
+
+def _time_repeats(repeats: int, workload: Callable[[], Dict[str, object]]):
+    """Run ``workload`` ``repeats`` times; return (wall times, last details)."""
+    runs: List[float] = []
+    details: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        details = workload() or {}
+        runs.append(time.perf_counter() - start)
+    return runs, details
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def bench_trace_generation(instructions: int, repeats: int) -> ScenarioResult:
+    """Time synthesising the traces of :data:`TRACE_BENCHMARKS`."""
+
+    def workload() -> Dict[str, object]:
+        total = 0
+        for name in TRACE_BENCHMARKS:
+            total += len(generate_trace(benchmark_profile(name), instructions))
+        return {"benchmarks": list(TRACE_BENCHMARKS), "instructions": total}
+
+    runs, details = _time_repeats(repeats, workload)
+    result = ScenarioResult(name="trace_generation", runs=runs, details=details)
+    result.details["instructions_per_second"] = (
+        details["instructions"] / result.seconds if result.seconds else 0.0
+    )
+    return result
+
+
+def bench_single_config_run(
+    instructions: int, repeats: int, warmup_fraction: float = 0.3
+) -> ScenarioResult:
+    """Time one MALEC simulation of :data:`SINGLE_RUN_BENCHMARK`."""
+    trace = generate_trace(
+        benchmark_profile(SINGLE_RUN_BENCHMARK), instructions=instructions
+    )
+
+    def workload() -> Dict[str, object]:
+        outcome = run_configuration(
+            SimulationConfig.malec(), trace, warmup_fraction=warmup_fraction
+        )
+        return {
+            "benchmark": SINGLE_RUN_BENCHMARK,
+            "configuration": outcome.config_name,
+            "instructions": instructions,
+            "cycles": outcome.cycles,
+        }
+
+    runs, details = _time_repeats(repeats, workload)
+    return ScenarioResult(name="single_config_run", runs=runs, details=details)
+
+
+def bench_fig4_mini_sweep(instructions: int, repeats: int) -> ScenarioResult:
+    """Time the ``fig4-mini`` preset through the serial campaign executor."""
+    spec = campaign_preset("fig4-mini").with_overrides(instructions=instructions)
+
+    def workload() -> Dict[str, object]:
+        executor = ParallelExecutor(jobs=1)
+        results = executor.run(spec)
+        return {
+            "preset": "fig4-mini",
+            "instructions": instructions,
+            "cells": len(spec.cells()),
+            "benchmarks": len(results.runs),
+        }
+
+    runs, details = _time_repeats(repeats, workload)
+    return ScenarioResult(name="fig4_mini_sweep", runs=runs, details=details)
+
+
+def bench_figure4_acceptance(instructions: int, repeats: int) -> ScenarioResult:
+    """Time the ``repro figure4 gzip djpeg mcf`` workload (acceptance metric)."""
+    from repro.analysis.experiments import ExperimentRunner
+
+    benchmarks = ("gzip", "djpeg", "mcf")
+
+    def workload() -> Dict[str, object]:
+        runner = ExperimentRunner(
+            instructions=instructions, benchmarks=benchmarks, warmup_fraction=0.3
+        )
+        results = runner.run(SimulationConfig.figure4_suite(), jobs=1)
+        return {
+            "benchmarks": list(benchmarks),
+            "instructions": instructions,
+            "cells": 5 * len(benchmarks),
+            "benchmarks_completed": len(results.runs),
+        }
+
+    runs, details = _time_repeats(repeats, workload)
+    return ScenarioResult(name="figure4_gzip_djpeg_mcf", runs=runs, details=details)
+
+
+# ----------------------------------------------------------------------
+# Harness driver
+# ----------------------------------------------------------------------
+def detect_revision(default: str = "worktree") -> str:
+    """Short git revision of the working tree, or ``default`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else default
+
+
+def run_benchmarks(
+    instructions: int = 4000,
+    sweep_instructions: int = 2000,
+    repeats: int = 3,
+    quick: bool = False,
+    label: Optional[str] = None,
+) -> dict:
+    """Execute every scenario and return the complete report dictionary.
+
+    ``quick`` shrinks the workloads to a few hundred instructions and one
+    repeat — enough for CI to prove the harness runs, useless for comparing
+    performance.
+    """
+    if quick:
+        instructions = min(instructions, 600)
+        sweep_instructions = min(sweep_instructions, 400)
+        repeats = 1
+    revision = detect_revision()
+    scenarios = [
+        bench_trace_generation(instructions, repeats),
+        bench_single_config_run(instructions, repeats),
+        bench_fig4_mini_sweep(sweep_instructions, repeats),
+        bench_figure4_acceptance(instructions, repeats),
+    ]
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": label or revision,
+        "revision": revision,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "params": {
+            "instructions": instructions,
+            "sweep_instructions": sweep_instructions,
+            "repeats": repeats,
+            "quick": quick,
+        },
+        "scenarios": {result.name: result.as_dict() for result in scenarios},
+        "total_seconds": sum(result.seconds for result in scenarios),
+    }
+
+
+def write_report(report: dict, out_dir: Union[str, Path]) -> Path:
+    """Write ``report`` as ``BENCH_<label>.json`` under ``out_dir``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    safe_label = "".join(
+        ch if (ch.isalnum() or ch in "-_.") else "-" for ch in str(report["label"])
+    )
+    path = out / f"{BENCH_PREFIX}{safe_label}.json"
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    """One-line-per-scenario human-readable summary."""
+    lines = [
+        f"bench {report['label']} (rev {report['revision']}, "
+        f"python {report['python']}, repeats {report['params']['repeats']})"
+    ]
+    for name, scenario in report["scenarios"].items():
+        lines.append(f"  {name:<20s} {scenario['seconds'] * 1000.0:>10.1f} ms")
+    lines.append(f"  {'total':<20s} {report['total_seconds'] * 1000.0:>10.1f} ms")
+    return "\n".join(lines)
+
+
+def compare_reports(before: dict, after: dict) -> str:
+    """Speedup table between two reports (``before`` / ``after``)."""
+    lines = [f"speedup {before['label']} -> {after['label']}"]
+    for name, scenario in after["scenarios"].items():
+        reference = before["scenarios"].get(name)
+        if reference is None or not scenario["seconds"]:
+            continue
+        ratio = reference["seconds"] / scenario["seconds"]
+        lines.append(
+            f"  {name:<20s} {reference['seconds'] * 1000.0:>10.1f} ms -> "
+            f"{scenario['seconds'] * 1000.0:>10.1f} ms   ({ratio:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def main_bench(args) -> int:
+    """Implementation of the ``repro bench`` CLI sub-command."""
+    report = run_benchmarks(
+        instructions=args.instructions,
+        sweep_instructions=args.sweep_instructions,
+        repeats=args.repeats,
+        quick=args.quick,
+        label=args.label,
+    )
+    print(format_report(report))
+    if not args.no_write:
+        path = write_report(report, args.out)
+        print(f"wrote {path}")
+    if args.compare is not None:
+        before = json.loads(Path(args.compare).read_text())
+        print(compare_reports(before, report))
+    return 0

@@ -10,21 +10,29 @@ the same for every configuration), so no lookup events are charged here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.stats import StatCounters
 
 
-@dataclass
 class LoadQueueEntry:
-    """Book-keeping for one in-flight load."""
+    """Book-keeping for one in-flight load (slotted: one entry per load)."""
 
-    tag: Any
-    virtual_address: int
-    dispatch_cycle: int
-    issue_cycle: Optional[int] = None
-    complete_cycle: Optional[int] = None
+    __slots__ = ("tag", "virtual_address", "dispatch_cycle", "issue_cycle", "complete_cycle")
+
+    def __init__(
+        self,
+        tag: Any,
+        virtual_address: int,
+        dispatch_cycle: int,
+        issue_cycle: Optional[int] = None,
+        complete_cycle: Optional[int] = None,
+    ) -> None:
+        self.tag = tag
+        self.virtual_address = virtual_address
+        self.dispatch_cycle = dispatch_cycle
+        self.issue_cycle = issue_cycle
+        self.complete_cycle = complete_cycle
 
     @property
     def latency(self) -> Optional[int]:
@@ -43,6 +51,10 @@ class LoadQueue:
         self.entries = entries
         self.stats = stats if stats is not None else StatCounters()
         self._entries: Dict[Any, LoadQueueEntry] = {}
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_allocate = self.stats.handle("lq.allocate")
+        self._h_total_latency = self.stats.handle("lq.total_latency")
+        self._h_completed = self.stats.handle("lq.completed")
 
     # ------------------------------------------------------------------
     @property
@@ -63,7 +75,7 @@ class LoadQueue:
             raise ValueError(f"load {tag!r} already present in the load queue")
         entry = LoadQueueEntry(tag=tag, virtual_address=virtual_address, dispatch_cycle=cycle)
         self._entries[tag] = entry
-        self.stats.add("lq.allocate")
+        self.stats.bump(self._h_allocate)
         return entry
 
     def mark_issued(self, tag: Any, cycle: int) -> None:
@@ -75,8 +87,8 @@ class LoadQueue:
         entry = self._entries[tag]
         entry.complete_cycle = cycle
         if entry.latency is not None:
-            self.stats.add("lq.total_latency", entry.latency)
-            self.stats.add("lq.completed")
+            self.stats.bump(self._h_total_latency, entry.latency)
+            self.stats.bump(self._h_completed)
 
     def release(self, tag: Any) -> None:
         """Remove a committed load from the queue."""

@@ -14,21 +14,28 @@ as for the store buffer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
 from repro.stats import StatCounters
 
 
-@dataclass
 class MergeBufferEntry:
-    """One cache line's worth of merged, committed store data."""
+    """One cache line's worth of merged, committed store data (slotted)."""
 
-    line_address: int
-    store_count: int = 1
-    dirty_bytes: int = 0
-    allocation_cycle: int = 0
+    __slots__ = ("line_address", "store_count", "dirty_bytes", "allocation_cycle")
+
+    def __init__(
+        self,
+        line_address: int,
+        store_count: int = 1,
+        dirty_bytes: int = 0,
+        allocation_cycle: int = 0,
+    ) -> None:
+        self.line_address = line_address
+        self.store_count = store_count
+        self.dirty_bytes = dirty_bytes
+        self.allocation_cycle = allocation_cycle
 
 
 class MergeBuffer:
@@ -46,6 +53,14 @@ class MergeBuffer:
         self.layout = layout
         self.stats = stats if stats is not None else StatCounters()
         self._entries: List[MergeBufferEntry] = []
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_merged_store = self.stats.handle("mb.merged_store")
+        self._h_eviction = self.stats.handle("mb.eviction")
+        self._h_allocate = self.stats.handle("mb.allocate")
+        self._h_lookup_offset = self.stats.handle("mb.lookup_offset")
+        self._h_lookup_full = self.stats.handle("mb.lookup_full")
+        self._h_forward_hit = self.stats.handle("mb.forward_hit")
+        self._h_lookup_page_shared = self.stats.handle("mb.lookup_page_shared")
 
     # ------------------------------------------------------------------
     @property
@@ -81,13 +96,13 @@ class MergeBuffer:
         if existing is not None:
             existing.store_count += 1
             existing.dirty_bytes += size
-            self.stats.add("mb.merged_store")
+            self.stats.bump(self._h_merged_store)
             return None
 
         evicted: Optional[MergeBufferEntry] = None
         if self.full:
             evicted = self._entries.pop(0)
-            self.stats.add("mb.eviction")
+            self.stats.bump(self._h_eviction)
         self._entries.append(
             MergeBufferEntry(
                 line_address=line_address,
@@ -96,14 +111,14 @@ class MergeBuffer:
                 allocation_cycle=cycle,
             )
         )
-        self.stats.add("mb.allocate")
+        self.stats.bump(self._h_allocate)
         return evicted
 
     def pop_oldest(self) -> Optional[MergeBufferEntry]:
         """Explicitly evict the oldest entry (used when draining the buffer)."""
         if not self._entries:
             return None
-        self.stats.add("mb.eviction")
+        self.stats.bump(self._h_eviction)
         return self._entries.pop(0)
 
     def drain(self) -> List[MergeBufferEntry]:
@@ -124,17 +139,17 @@ class MergeBuffer:
         shared part is charged via :meth:`charge_shared_page_lookup`).
         """
         if split:
-            self.stats.add("mb.lookup_offset")
+            self.stats.bump(self._h_lookup_offset)
         else:
-            self.stats.add("mb.lookup_full")
+            self.stats.bump(self._h_lookup_full)
         entry = self._find(self.layout.line_address(virtual_address))
         if entry is not None:
-            self.stats.add("mb.forward_hit")
+            self.stats.bump(self._h_forward_hit)
         return entry
 
     def charge_shared_page_lookup(self) -> None:
         """Charge the per-cycle shared page-id comparison of the split structure."""
-        self.stats.add("mb.lookup_page_shared")
+        self.stats.bump(self._h_lookup_page_shared)
 
     @property
     def merge_rate(self) -> float:

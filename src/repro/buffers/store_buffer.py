@@ -14,30 +14,40 @@ compared even though the paper excludes the SB from its final numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
 from repro.stats import StatCounters
 
 
-@dataclass
 class StoreBufferEntry:
-    """A speculative store waiting to commit."""
+    """A speculative store waiting to commit (slotted: one entry per store)."""
 
-    tag: Any
-    virtual_address: int
-    size: int
-    cycle: int
-    committed: bool = False
+    __slots__ = ("tag", "virtual_address", "size", "cycle", "committed")
+
+    def __init__(
+        self,
+        tag: Any,
+        virtual_address: int,
+        size: int,
+        cycle: int,
+        committed: bool = False,
+    ) -> None:
+        self.tag = tag
+        self.virtual_address = virtual_address
+        self.size = size
+        self.cycle = cycle
+        self.committed = committed
 
 
-@dataclass
 class ForwardingResult:
     """Result of a load's search of the store buffer."""
 
-    hit: bool
-    entry: Optional[StoreBufferEntry] = None
+    __slots__ = ("hit", "entry")
+
+    def __init__(self, hit: bool, entry: Optional[StoreBufferEntry] = None) -> None:
+        self.hit = hit
+        self.entry = entry
 
 
 class StoreBuffer:
@@ -55,6 +65,17 @@ class StoreBuffer:
         self.layout = layout
         self.stats = stats if stats is not None else StatCounters()
         self._entries: List[StoreBufferEntry] = []
+        #: tag -> entry index for O(1) commit marking (tags are unique)
+        self._by_tag: dict = {}
+        #: number of committed-but-not-drained entries (cheap quiescence check)
+        self._committed_count = 0
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_insert = self.stats.handle("sb.insert")
+        self._h_lookup_offset = self.stats.handle("sb.lookup_offset")
+        self._h_lookup_full = self.stats.handle("sb.lookup_full")
+        self._h_forward_hit = self.stats.handle("sb.forward_hit")
+        self._h_lookup_page_shared = self.stats.handle("sb.lookup_page_shared")
+        self._h_drain = self.stats.handle("sb.drain")
 
     # ------------------------------------------------------------------
     @property
@@ -73,17 +94,13 @@ class StoreBuffer:
             raise RuntimeError("store buffer overflow")
         entry = StoreBufferEntry(tag=tag, virtual_address=virtual_address, size=size, cycle=cycle)
         self._entries.append(entry)
-        self.stats.add("sb.insert")
+        self._by_tag[tag] = entry
+        self.stats.bump(self._h_insert)
         return entry
 
     # ------------------------------------------------------------------
     # Load forwarding lookups
     # ------------------------------------------------------------------
-    def _overlaps(self, entry: StoreBufferEntry, address: int, size: int) -> bool:
-        start_a, end_a = entry.virtual_address, entry.virtual_address + entry.size
-        start_b, end_b = address, address + size
-        return start_a < end_b and start_b < end_a
-
     def lookup(self, address: int, size: int = 4, split: bool = False) -> ForwardingResult:
         """Search for the youngest older store overlapping ``address``.
 
@@ -93,42 +110,57 @@ class StoreBuffer:
         is charged here.  A full-width lookup is charged otherwise.
         """
         if split:
-            self.stats.add("sb.lookup_offset")
+            self.stats.bump(self._h_lookup_offset)
         else:
-            self.stats.add("sb.lookup_full")
+            self.stats.bump(self._h_lookup_full)
+        end = address + size
         for entry in reversed(self._entries):
-            if self._overlaps(entry, address, size):
-                self.stats.add("sb.forward_hit")
+            start = entry.virtual_address
+            if start < end and address < start + entry.size:
+                self.stats.bump(self._h_forward_hit)
                 return ForwardingResult(hit=True, entry=entry)
         return ForwardingResult(hit=False)
 
     def charge_shared_page_lookup(self) -> None:
         """Charge the per-cycle shared page-id comparison of the split structure."""
-        self.stats.add("sb.lookup_page_shared")
+        self.stats.bump(self._h_lookup_page_shared)
 
     # ------------------------------------------------------------------
     # Commit path
     # ------------------------------------------------------------------
+    @property
+    def committed_count(self) -> int:
+        """Number of committed stores still waiting to drain to the MB."""
+        return self._committed_count
+
     def mark_committed(self, tag: Any) -> Optional[StoreBufferEntry]:
         """Flag the store identified by ``tag`` as committed (ready for the MB)."""
-        for entry in self._entries:
-            if entry.tag == tag and not entry.committed:
-                entry.committed = True
-                return entry
+        entry = self._by_tag.get(tag)
+        if entry is not None and not entry.committed:
+            entry.committed = True
+            self._committed_count += 1
+            return entry
         return None
 
     def pop_committed(self) -> Optional[StoreBufferEntry]:
         """Remove and return the oldest committed store, if any."""
+        if not self._committed_count:
+            return None
         for index, entry in enumerate(self._entries):
             if entry.committed:
-                self.stats.add("sb.drain")
-                return self._entries.pop(index)
+                self.stats.bump(self._h_drain)
+                self._committed_count -= 1
+                self._entries.pop(index)
+                if self._by_tag.get(entry.tag) is entry:
+                    del self._by_tag[entry.tag]
+                return entry
         return None
 
     def flush_speculative(self) -> int:
         """Drop all uncommitted stores (pipeline squash); returns the count."""
         before = len(self._entries)
         self._entries = [entry for entry in self._entries if entry.committed]
+        self._by_tag = {entry.tag: entry for entry in self._entries}
         dropped = before - len(self._entries)
         if dropped:
             self.stats.add("sb.squashed", dropped)

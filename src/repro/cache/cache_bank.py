@@ -20,7 +20,6 @@ enforced by the interface models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cache.set_assoc import EvictionRecord, SetAssociativeArray
@@ -28,9 +27,8 @@ from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
 from repro.stats import StatCounters
 
 
-@dataclass
 class BankAccessResult:
-    """Outcome of a bank access.
+    """Outcome of a bank access (slotted: one per access).
 
     Attributes
     ----------
@@ -49,12 +47,30 @@ class BankAccessResult:
         Line-granular physical address displaced by a fill, if any.
     """
 
-    hit: bool
-    way: Optional[int] = None
-    reduced: bool = False
-    way_hint_wrong: bool = False
-    evicted_line_address: Optional[int] = None
-    evicted_dirty: bool = False
+    __slots__ = (
+        "hit",
+        "way",
+        "reduced",
+        "way_hint_wrong",
+        "evicted_line_address",
+        "evicted_dirty",
+    )
+
+    def __init__(
+        self,
+        hit: bool,
+        way: Optional[int] = None,
+        reduced: bool = False,
+        way_hint_wrong: bool = False,
+        evicted_line_address: Optional[int] = None,
+        evicted_dirty: bool = False,
+    ) -> None:
+        self.hit = hit
+        self.way = way
+        self.reduced = reduced
+        self.way_hint_wrong = way_hint_wrong
+        self.evicted_line_address = evicted_line_address
+        self.evicted_dirty = evicted_dirty
 
 
 class CacheBank:
@@ -106,12 +122,50 @@ class CacheBank:
             seed=seed,
             on_evict=self._handle_eviction,
         )
+        # Per-access counters resolved to integer slots once (hot path).
+        stats = self.stats
+        self._h_eviction = stats.handle("l1.eviction")
+        self._h_writeback = stats.handle("l1.writeback")
+        self._h_ctrl = stats.handle("l1.ctrl")
+        self._h_tag_read = stats.handle("l1.tag_read")
+        self._h_data_read = stats.handle("l1.data_read")
+        self._h_data_write = stats.handle("l1.data_write")
+        self._h_tag_write = stats.handle("l1.tag_write")
+        self._h_reduced_access = stats.handle("l1.reduced_access")
+        self._h_conventional_access = stats.handle("l1.conventional_access")
+        self._h_subblock_pair_read = stats.handle("l1.subblock_pair_read")
+        self._h_way_hint_wrong = stats.handle("l1.way_hint_wrong")
+        self._h_fill = stats.handle("l1.fill")
+        # Fixed per-access counter patterns, flushed with one bump_many call.
+        ways = layout.l1_associativity
+        self._combo_conv_read = (
+            (self._h_ctrl, 1),
+            (self._h_tag_read, ways),
+            (self._h_data_read, ways),
+            (self._h_conventional_access, 1),
+        )
+        self._combo_reduced_read = (
+            (self._h_ctrl, 1),
+            (self._h_data_read, 1),
+            (self._h_reduced_access, 1),
+        )
+        self._combo_conv_write = (
+            (self._h_ctrl, 1),
+            (self._h_tag_read, ways),
+            (self._h_conventional_access, 1),
+        )
+        self._combo_fill = (
+            (self._h_ctrl, 1),
+            (self._h_fill, 1),
+            (self._h_data_write, 1),
+            (self._h_tag_write, 1),
+        )
 
     # ------------------------------------------------------------------
     # Address helpers
     # ------------------------------------------------------------------
     def _check_bank(self, physical_address: int) -> None:
-        if self.layout.bank_index(physical_address) != self.bank_index:
+        if self.layout.decompose(physical_address).bank_index != self.bank_index:
             raise ValueError(
                 f"address {physical_address:#x} belongs to bank "
                 f"{self.layout.bank_index(physical_address)}, not {self.bank_index}"
@@ -143,18 +197,19 @@ class CacheBank:
     # ------------------------------------------------------------------
     def _handle_eviction(self, record: EvictionRecord) -> None:
         address = self._line_address_from(record.set_index, record.tag)
-        self.stats.add("l1.eviction")
+        self.stats.bump(self._h_eviction)
         if record.dirty:
-            self.stats.add("l1.writeback")
+            self.stats.bump(self._h_writeback)
         if self._on_evict is not None:
             self._on_evict(address, record.way)
 
     def lookup(self, physical_address: int, update_replacement: bool = True):
         """Tag lookup only (no energy events); used by fills and tests."""
         self._check_bank(physical_address)
-        set_index = self.layout.set_index(physical_address)
-        tag = self.layout.tag(physical_address)
-        return self.array.lookup(set_index, tag, update_replacement=update_replacement)
+        parts = self.layout.decompose(physical_address)
+        return self.array.lookup(
+            parts.set_index, parts.tag, update_replacement=update_replacement
+        )
 
     def read(
         self,
@@ -170,40 +225,37 @@ class CacheBank:
         assumption that doubles merge opportunities); it only affects event
         accounting, not hit/miss behaviour.
         """
-        self._check_bank(physical_address)
-        set_index = self.layout.set_index(physical_address)
-        tag = self.layout.tag(physical_address)
-        ways = self.layout.l1_associativity
+        stats = self.stats
+        parts = self.layout.decompose(physical_address)
+        if parts.bank_index != self.bank_index:
+            self._check_bank(physical_address)
+        set_index = parts.set_index
+        tag = parts.tag
 
         if way_hint is not None:
             # Reduced access: tag arrays bypassed, single data array read.
             line = self.array.line(set_index, way_hint)
-            self.stats.add("l1.ctrl")
-            self.stats.add("l1.data_read", 1)
-            self.stats.add("l1.reduced_access")
+            stats.bump_many(self._combo_reduced_read)
             if paired_subblock:
-                self.stats.add("l1.subblock_pair_read")
+                stats.bump(self._h_subblock_pair_read)
             if line.valid and line.tag == tag:
-                self.array.lookup(set_index, tag)  # refresh replacement state
+                self.array.find_way(set_index, tag)  # refresh replacement state
                 return BankAccessResult(hit=True, way=way_hint, reduced=True)
             # A wrong hint requires a second, conventional access; way tables
             # never produce this (validity is tracked), but WDU-style
             # predictors might.
-            self.stats.add("l1.way_hint_wrong")
+            stats.bump(self._h_way_hint_wrong)
             result = self.read(physical_address, way_hint=None, paired_subblock=paired_subblock)
             result.way_hint_wrong = True
             return result
 
         # Conventional access: all tag arrays and all data arrays probed.
-        self.stats.add("l1.ctrl")
-        self.stats.add("l1.tag_read", ways)
-        self.stats.add("l1.data_read", ways)
-        self.stats.add("l1.conventional_access")
+        stats.bump_many(self._combo_conv_read)
         if paired_subblock:
-            self.stats.add("l1.subblock_pair_read")
-        lookup = self.array.lookup(set_index, tag)
-        if lookup.hit:
-            return BankAccessResult(hit=True, way=lookup.way, reduced=False)
+            stats.bump(self._h_subblock_pair_read)
+        way = self.array.find_way(set_index, tag)
+        if way is not None:
+            return BankAccessResult(hit=True, way=way, reduced=False)
         return BankAccessResult(hit=False, way=None, reduced=False)
 
     def write(self, physical_address: int, way_hint: Optional[int] = None) -> BankAccessResult:
@@ -213,37 +265,39 @@ class CacheBank:
         hint the tag arrays are probed first, with a valid hint the probe is
         skipped (reduced store).
         """
-        self._check_bank(physical_address)
-        set_index = self.layout.set_index(physical_address)
-        tag = self.layout.tag(physical_address)
-        ways = self.layout.l1_associativity
+        stats = self.stats
+        parts = self.layout.decompose(physical_address)
+        if parts.bank_index != self.bank_index:
+            self._check_bank(physical_address)
+        set_index = parts.set_index
+        tag = parts.tag
 
         if way_hint is not None:
             line = self.array.line(set_index, way_hint)
             if line.valid and line.tag == tag:
-                self.stats.add("l1.ctrl")
-                self.stats.add("l1.data_write", 1)
-                self.stats.add("l1.reduced_access")
+                stats.bump(self._h_ctrl)
+                stats.bump(self._h_data_write, 1)
+                stats.bump(self._h_reduced_access)
                 self.array.mark_dirty(set_index, way_hint)
-                self.array.lookup(set_index, tag)
+                self.array.find_way(set_index, tag)
                 return BankAccessResult(hit=True, way=way_hint, reduced=True)
-            self.stats.add("l1.way_hint_wrong")
+            stats.bump(self._h_way_hint_wrong)
 
-        self.stats.add("l1.ctrl")
-        self.stats.add("l1.tag_read", ways)
-        self.stats.add("l1.conventional_access")
-        lookup = self.array.lookup(set_index, tag)
-        if lookup.hit:
-            self.stats.add("l1.data_write", 1)
-            self.array.mark_dirty(set_index, lookup.way)
-            return BankAccessResult(hit=True, way=lookup.way, reduced=False)
+        stats.bump_many(self._combo_conv_write)
+        way = self.array.find_way(set_index, tag)
+        if way is not None:
+            stats.bump(self._h_data_write, 1)
+            self.array.mark_dirty(set_index, way)
+            return BankAccessResult(hit=True, way=way, reduced=False)
         return BankAccessResult(hit=False, way=None, reduced=False)
 
     def fill(self, physical_address: int, dirty: bool = False) -> BankAccessResult:
         """Install the line containing ``physical_address`` after a miss."""
-        self._check_bank(physical_address)
-        set_index = self.layout.set_index(physical_address)
-        tag = self.layout.tag(physical_address)
+        parts = self.layout.decompose(physical_address)
+        if parts.bank_index != self.bank_index:
+            self._check_bank(physical_address)
+        set_index = parts.set_index
+        tag = parts.tag
         excluded = self.excluded_way_for(physical_address)
 
         evicted_address: Optional[int] = None
@@ -261,10 +315,7 @@ class CacheBank:
         if eviction is not None:
             evicted_address = self._line_address_from(eviction.set_index, eviction.tag)
             evicted_dirty = eviction.dirty
-        self.stats.add("l1.ctrl")
-        self.stats.add("l1.fill")
-        self.stats.add("l1.data_write", 1)
-        self.stats.add("l1.tag_write", 1)
+        self.stats.bump_many(self._combo_fill)
         if self._on_fill is not None:
             self._on_fill(self.layout.line_address(physical_address), way)
         return BankAccessResult(

@@ -15,7 +15,6 @@ keep their validity bits coherent, exactly as Sec. V requires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.cache.cache_bank import BankAccessResult, CacheBank
@@ -27,9 +26,8 @@ from repro.stats import StatCounters
 LineListener = Callable[[int, int], None]
 
 
-@dataclass
 class L1AccessOutcome:
-    """Result of a complete L1 access, including miss handling.
+    """Result of a complete L1 access, including miss handling (slotted).
 
     Attributes
     ----------
@@ -47,12 +45,23 @@ class L1AccessOutcome:
         True when a supplied hint turned out to be wrong (never for WTs).
     """
 
-    hit: bool
-    way: Optional[int]
-    latency: int
-    reduced: bool
-    bank: int
-    way_hint_wrong: bool = False
+    __slots__ = ("hit", "way", "latency", "reduced", "bank", "way_hint_wrong")
+
+    def __init__(
+        self,
+        hit: bool,
+        way: Optional[int],
+        latency: int,
+        reduced: bool,
+        bank: int,
+        way_hint_wrong: bool = False,
+    ) -> None:
+        self.hit = hit
+        self.way = way
+        self.latency = latency
+        self.reduced = reduced
+        self.bank = bank
+        self.way_hint_wrong = way_hint_wrong
 
 
 class L1DataCache:
@@ -91,6 +100,18 @@ class L1DataCache:
             )
             for index in range(layout.l1_banks)
         ]
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_load = self.stats.handle("l1.load")
+        self._h_load_hit = self.stats.handle("l1.load_hit")
+        self._h_load_miss = self.stats.handle("l1.load_miss")
+        self._h_store = self.stats.handle("l1.store")
+        self._h_store_hit = self.stats.handle("l1.store_hit")
+        self._h_store_miss = self.stats.handle("l1.store_miss")
+        self._h_data_write = self.stats.handle("l1.data_write")
+        self._combo_load_hit = ((self._h_load, 1), (self._h_load_hit, 1))
+        self._combo_load_miss = ((self._h_load, 1), (self._h_load_miss, 1))
+        self._combo_store_hit = ((self._h_store, 1), (self._h_store_hit, 1))
+        self._combo_store_miss = ((self._h_store, 1), (self._h_store_miss, 1))
 
     # ------------------------------------------------------------------
     # Listener plumbing (keeps way tables / WDU coherent with the cache)
@@ -116,7 +137,7 @@ class L1DataCache:
     # ------------------------------------------------------------------
     def bank_for(self, physical_address: int) -> CacheBank:
         """Bank that owns ``physical_address``."""
-        return self.banks[self.layout.bank_index(physical_address)]
+        return self.banks[self.layout.decompose(physical_address).bank_index]
 
     def load(
         self,
@@ -126,10 +147,9 @@ class L1DataCache:
     ) -> L1AccessOutcome:
         """Service a load, handling the miss path through L2/DRAM."""
         bank = self.bank_for(physical_address)
-        self.stats.add("l1.load")
         result = bank.read(physical_address, way_hint=way_hint)
         if result.hit:
-            self.stats.add("l1.load_hit")
+            self.stats.bump_many(self._combo_load_hit)
             return L1AccessOutcome(
                 hit=True,
                 way=result.way,
@@ -139,7 +159,7 @@ class L1DataCache:
                 way_hint_wrong=result.way_hint_wrong,
             )
 
-        self.stats.add("l1.load_miss")
+        self.stats.bump_many(self._combo_load_miss)
         miss_latency = self.l2.access(physical_address, is_write=False)
         way: Optional[int] = None
         if allocate_on_miss:
@@ -164,10 +184,9 @@ class L1DataCache:
     ) -> L1AccessOutcome:
         """Service a store (write-allocate, write-back)."""
         bank = self.bank_for(physical_address)
-        self.stats.add("l1.store")
         result = bank.write(physical_address, way_hint=way_hint)
         if result.hit:
-            self.stats.add("l1.store_hit")
+            self.stats.bump_many(self._combo_store_hit)
             return L1AccessOutcome(
                 hit=True,
                 way=result.way,
@@ -177,13 +196,13 @@ class L1DataCache:
                 way_hint_wrong=result.way_hint_wrong,
             )
 
-        self.stats.add("l1.store_miss")
+        self.stats.bump_many(self._combo_store_miss)
         miss_latency = self.l2.access(physical_address, is_write=False)
         way: Optional[int] = None
         if allocate_on_miss:
             fill = bank.fill(physical_address, dirty=True)
             way = fill.way
-            self.stats.add("l1.data_write", 1)
+            self.stats.bump(self._h_data_write, 1)
             if fill.evicted_dirty:
                 self.l2.access(fill.evicted_line_address, is_write=True)
         return L1AccessOutcome(

@@ -54,6 +54,11 @@ class L2Cache:
             replacement=replacement,
             seed=seed,
         )
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_access = self.stats.handle("l2.access")
+        self._h_hit = self.stats.handle("l2.hit")
+        self._h_miss = self.stats.handle("l2.miss")
+        self._h_writeback = self.stats.handle("l2.writeback")
 
     # ------------------------------------------------------------------
     def _set_and_tag(self, physical_address: int) -> tuple[int, int]:
@@ -68,19 +73,19 @@ class L2Cache:
         critical path).
         """
         set_index, tag = self._set_and_tag(physical_address)
-        self.stats.add("l2.access")
-        lookup = self.array.lookup(set_index, tag)
-        if lookup.hit:
-            self.stats.add("l2.hit")
+        self.stats.bump(self._h_access)
+        way = self.array.find_way(set_index, tag)
+        if way is not None:
+            self.stats.bump(self._h_hit)
             if is_write:
-                self.array.mark_dirty(set_index, lookup.way)
+                self.array.mark_dirty(set_index, way)
             return self.latency_cycles
 
-        self.stats.add("l2.miss")
+        self.stats.bump(self._h_miss)
         dram_latency = self.dram.read(physical_address)
         _, eviction = self.array.fill(set_index, tag, dirty=is_write)
         if eviction is not None and eviction.dirty:
-            self.stats.add("l2.writeback")
+            self.stats.bump(self._h_writeback)
             self.dram.write(physical_address)
         return self.latency_cycles + dram_latency
 

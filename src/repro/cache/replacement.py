@@ -76,11 +76,20 @@ class LRUReplacement(ReplacementPolicy):
         self._stack: List[int] = list(range(ways))
 
     def touch(self, way: int) -> None:
-        self._check_way(way)
-        self._stack.remove(way)
-        self._stack.insert(0, way)
+        if way < 0 or way >= self.ways:
+            self._check_way(way)
+        stack = self._stack
+        if stack[0] != way:  # temporal locality: most touches re-hit the MRU way
+            stack.remove(way)
+            stack.insert(0, way)
 
     def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        # Fast path for the overwhelmingly common steady-state case: every
+        # way valid and nothing excluded — the victim is simply the LRU way.
+        if excluded_way is None and all(valid_mask):
+            if len(valid_mask) != self.ways:
+                raise ValueError("valid_mask length must equal the number of ways")
+            return self._stack[-1]
         candidates = set(self._candidates(valid_mask, excluded_way))
         # Walk from least- to most-recently used and return the first candidate.
         for way in reversed(self._stack):
@@ -159,7 +168,8 @@ class SecondChanceReplacement(ReplacementPolicy):
         self._hand = 0
 
     def touch(self, way: int) -> None:
-        self._check_way(way)
+        if way < 0 or way >= self.ways:
+            self._check_way(way)
         self._referenced[way] = True
 
     def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:

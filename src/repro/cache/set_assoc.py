@@ -10,20 +10,28 @@ opaque payload (used e.g. by the TLB to hold translations).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
 
 
-@dataclass
 class CacheLineState:
-    """State of a single way within a set."""
+    """State of a single way within a set (slotted: one per resident line)."""
 
-    valid: bool = False
-    dirty: bool = False
-    tag: int = 0
-    payload: Any = None
+    __slots__ = ("valid", "dirty", "tag", "payload")
+
+    def __init__(
+        self,
+        valid: bool = False,
+        dirty: bool = False,
+        tag: int = 0,
+        payload: Any = None,
+    ) -> None:
+        self.valid = valid
+        self.dirty = dirty
+        self.tag = tag
+        self.payload = payload
 
     def reset(self) -> None:
         """Invalidate the line and clear its payload."""
@@ -33,13 +41,20 @@ class CacheLineState:
         self.payload = None
 
 
-@dataclass
 class LookupResult:
-    """Outcome of a tag lookup in one set."""
+    """Outcome of a tag lookup in one set (slotted: one per lookup)."""
 
-    hit: bool
-    way: Optional[int] = None
-    line: Optional[CacheLineState] = None
+    __slots__ = ("hit", "way", "line")
+
+    def __init__(
+        self,
+        hit: bool,
+        way: Optional[int] = None,
+        line: Optional[CacheLineState] = None,
+    ) -> None:
+        self.hit = hit
+        self.way = way
+        self.line = line
 
 
 @dataclass
@@ -88,13 +103,36 @@ class SetAssociativeArray:
         self.num_sets = num_sets
         self.ways = ways
         self.on_evict = on_evict
-        self._sets: List[List[CacheLineState]] = [
-            [CacheLineState() for _ in range(ways)] for _ in range(num_sets)
-        ]
-        self._policies: List[ReplacementPolicy] = [
-            make_replacement_policy(replacement, ways, seed=seed + index)
-            for index in range(num_sets)
-        ]
+        self._replacement = replacement
+        self._seed = seed
+        # Sets are materialised lazily on first touch: a 1 MByte L2 would
+        # otherwise allocate 16 K line-state objects and 1 K policies per
+        # simulator even though short runs touch a fraction of them.  Each
+        # set's replacement policy is still seeded ``seed + set_index``, so
+        # lazy construction is bit-identical to the eager one.
+        self._sets: Dict[int, List[CacheLineState]] = {}
+        self._policies: Dict[int, ReplacementPolicy] = {}
+        # Validate the policy name eagerly (and keep the error site here):
+        make_replacement_policy(replacement, ways, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Lazy set materialisation
+    # ------------------------------------------------------------------
+    def _lines(self, set_index: int) -> List[CacheLineState]:
+        """The ways of ``set_index``, materialising the set on first touch."""
+        lines = self._sets.get(set_index)
+        if lines is None:
+            lines = self._sets[set_index] = [CacheLineState() for _ in range(self.ways)]
+        return lines
+
+    def _policy(self, set_index: int) -> ReplacementPolicy:
+        """The replacement policy of ``set_index`` (lazily constructed)."""
+        policy = self._policies.get(set_index)
+        if policy is None:
+            policy = self._policies[set_index] = make_replacement_policy(
+                self._replacement, self.ways, seed=self._seed + set_index
+            )
+        return policy
 
     # ------------------------------------------------------------------
     # Queries
@@ -106,12 +144,29 @@ class SetAssociativeArray:
     def lookup(self, set_index: int, tag: int, update_replacement: bool = True) -> LookupResult:
         """Search ``set_index`` for ``tag``; optionally record the use."""
         self._check_set(set_index)
-        for way, line in enumerate(self._sets[set_index]):
+        lines = self._sets.get(set_index)
+        if lines is None:
+            return LookupResult(hit=False)
+        for way, line in enumerate(lines):
             if line.valid and line.tag == tag:
                 if update_replacement:
-                    self._policies[set_index].touch(way)
+                    self._policy(set_index).touch(way)
                 return LookupResult(hit=True, way=way, line=line)
         return LookupResult(hit=False)
+
+    def find_way(self, set_index: int, tag: int, update_replacement: bool = True):
+        """Way index holding ``tag`` or ``None`` — :meth:`lookup` without the
+        result object, for callers on the per-access hot path."""
+        self._check_set(set_index)
+        lines = self._sets.get(set_index)
+        if lines is None:
+            return None
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                if update_replacement:
+                    self._policy(set_index).touch(way)
+                return way
+        return None
 
     def probe(self, set_index: int, tag: int) -> LookupResult:
         """Lookup without disturbing replacement state (used by tests/tools)."""
@@ -122,23 +177,29 @@ class SetAssociativeArray:
         self._check_set(set_index)
         if way < 0 or way >= self.ways:
             raise ValueError(f"way {way} outside 0..{self.ways - 1}")
-        return self._sets[set_index][way]
+        return self._lines(set_index)[way]
 
     def valid_mask(self, set_index: int) -> List[bool]:
         """Validity of each way in ``set_index``."""
         self._check_set(set_index)
-        return [line.valid for line in self._sets[set_index]]
+        lines = self._sets.get(set_index)
+        if lines is None:
+            return [False] * self.ways
+        return [line.valid for line in lines]
 
     def occupancy(self) -> int:
         """Total number of valid lines across the whole array."""
         return sum(
-            1 for ways in self._sets for line in ways if line.valid
+            1 for ways in self._sets.values() for line in ways if line.valid
         )
 
     def valid_tags(self, set_index: int) -> List[int]:
         """Tags of all valid lines in a set (helper for invariants in tests)."""
         self._check_set(set_index)
-        return [line.tag for line in self._sets[set_index] if line.valid]
+        lines = self._sets.get(set_index)
+        if lines is None:
+            return []
+        return [line.tag for line in lines if line.valid]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -168,14 +229,14 @@ class SetAssociativeArray:
             line.dirty = line.dirty or dirty
             return existing.way, None
 
-        policy = self._policies[set_index]
+        policy = self._policy(set_index)
         if preferred_way is not None:
             if preferred_way == excluded_way:
                 raise ValueError("preferred way conflicts with excluded way")
             way = preferred_way
         else:
             way = policy.victim(self.valid_mask(set_index), excluded_way=excluded_way)
-        line = self._sets[set_index][way]
+        line = self._lines(set_index)[way]
 
         eviction: Optional[EvictionRecord] = None
         if line.valid:
@@ -223,6 +284,6 @@ class SetAssociativeArray:
 
     def invalidate_all(self) -> None:
         """Invalidate every line without firing eviction callbacks."""
-        for ways in self._sets:
+        for ways in self._sets.values():
             for line in ways:
                 line.reset()

@@ -23,6 +23,11 @@ directory layout):
     Print the Sec. III / Fig. 1 page- and line-locality statistics of one or
     more benchmarks.
 
+``bench``
+    Time the simulator's hot paths (trace generation, one configuration run,
+    the fig4-mini sweep) and write a ``BENCH_<rev>.json`` record so speedups
+    and regressions are comparable across commits (see ``benchmarks/perf/``).
+
 Examples::
 
     python -m repro compare gzip
@@ -30,6 +35,7 @@ Examples::
     python -m repro sweep fig4 --jobs 4 --out results/fig4
     python -m repro sweep sec6d --jobs 2 --out results/sec6d
     python -m repro locality h263dec swim
+    python -m repro bench --quick
     python -m repro list
 """
 
@@ -153,6 +159,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     locality.add_argument("benchmarks", nargs="+", choices=sorted(ALL_BENCHMARKS))
     locality.add_argument("--instructions", type=int, default=5000)
+
+    bench = commands.add_parser(
+        "bench", help="time the simulator hot paths; write BENCH_<rev>.json"
+    )
+    bench.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=4000,
+        help="trace length for trace-generation / single-run scenarios "
+        "(default: 4000)",
+    )
+    bench.add_argument(
+        "--sweep-instructions",
+        type=_positive_int,
+        default=2000,
+        help="trace length for the fig4-mini sweep scenario (default: 2000)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=3,
+        help="repeats per scenario; the best (minimum) time is reported "
+        "(default: 3)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny workloads, one repeat: a CI smoke run, not a measurement",
+    )
+    bench.add_argument(
+        "--label",
+        default=None,
+        help="label for the output file (default: short git revision)",
+    )
+    bench.add_argument(
+        "--out",
+        default="benchmarks/perf",
+        metavar="DIR",
+        help="directory for BENCH_<label>.json (default: benchmarks/perf)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="FILE",
+        help="print a speedup table against a previous BENCH_*.json",
+    )
+    bench.add_argument(
+        "--no-write", action="store_true", help="print timings only, write nothing"
+    )
 
     commands.add_parser("list", help="list the available benchmark profiles")
     return parser
@@ -310,6 +365,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "locality":
         return _cmd_locality(args)
+    if args.command == "bench":
+        from repro.bench import main_bench
+
+        return main_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -39,20 +39,29 @@ from repro.stats import StatCounters
 MERGE_GRANULARITIES = ("line", "subblock_pair", "subblock", "none")
 
 
-@dataclass
 class BankRequest:
-    """One access issued to a cache bank this cycle.
+    """One access issued to a cache bank this cycle (slotted: one per access).
 
     ``primary`` is the request that drives the access; ``merged`` lists loads
     that share its returned data.  ``way_hint`` is the way supplied by the
     page's way-table entry (``None`` = unknown, conventional access).
     """
 
-    bank: int
-    primary: MemoryAccessRequest
-    merged: List[MemoryAccessRequest] = field(default_factory=list)
-    is_write: bool = False
-    way_hint: Optional[int] = None
+    __slots__ = ("bank", "primary", "merged", "is_write", "way_hint")
+
+    def __init__(
+        self,
+        bank: int,
+        primary: MemoryAccessRequest,
+        merged: Optional[List[MemoryAccessRequest]] = None,
+        is_write: bool = False,
+        way_hint: Optional[int] = None,
+    ) -> None:
+        self.bank = bank
+        self.primary = primary
+        self.merged = [] if merged is None else merged
+        self.is_write = is_write
+        self.way_hint = way_hint
 
     @property
     def loads_serviced(self) -> int:
@@ -105,6 +114,16 @@ class ArbitrationUnit:
         self.merge_window = merge_window
         self.merge_granularity = merge_granularity
         self.stats = stats if stats is not None else StatCounters()
+        # Per-cycle counters resolved to integer slots once (hot path).
+        self._h_mbe_bank_conflict = self.stats.handle("arb.mbe_bank_conflict")
+        self._h_line_compare = self.stats.handle("arb.line_compare")
+        self._h_merged_load = self.stats.handle("arb.merged_load")
+        self._h_rejected_result_bus = self.stats.handle("arb.rejected_result_bus")
+        self._h_rejected_bank_conflict = self.stats.handle("arb.rejected_bank_conflict")
+        self._h_granted_load = self.stats.handle("arb.granted_load")
+        self._h_way_hint_assigned = self.stats.handle("arb.way_hint_assigned")
+        self._h_cycles = self.stats.handle("arb.cycles")
+        self._h_bank_accesses = self.stats.handle("arb.bank_accesses")
 
     # ------------------------------------------------------------------
     def _can_merge(self, a: MemoryAccessRequest, b: MemoryAccessRequest) -> bool:
@@ -146,7 +165,7 @@ class ArbitrationUnit:
             if request.is_mbe:
                 # The MBE writes the cache; it needs its bank but no result bus.
                 if bank in bank_owner:
-                    self.stats.add("arb.mbe_bank_conflict")
+                    self.stats.bump(self._h_mbe_bank_conflict)
                     result.rejected.append(request)
                     continue
                 bank_request = BankRequest(bank=bank, primary=request, is_write=True)
@@ -163,7 +182,7 @@ class ArbitrationUnit:
                 for bank_request in bank_owner.values():
                     if bank_request.is_write:
                         continue
-                    self.stats.add("arb.line_compare")
+                    self.stats.bump(self._h_line_compare)
                     if self._can_merge(bank_request.primary, request):
                         if loads_granted >= self.result_buses:
                             break
@@ -172,18 +191,18 @@ class ArbitrationUnit:
                         result.merged_pairs += 1
                         loads_granted += 1
                         merged = True
-                        self.stats.add("arb.merged_load")
+                        self.stats.bump(self._h_merged_load)
                         break
             if merged:
                 continue
 
             if loads_granted >= self.result_buses:
-                self.stats.add("arb.rejected_result_bus")
+                self.stats.bump(self._h_rejected_result_bus)
                 result.rejected.append(request)
                 continue
 
             if bank in bank_owner:
-                self.stats.add("arb.rejected_bank_conflict")
+                self.stats.bump(self._h_rejected_bank_conflict)
                 result.rejected.append(request)
                 continue
 
@@ -192,11 +211,11 @@ class ArbitrationUnit:
             result.bank_requests.append(bank_request)
             result.serviced.append(request)
             loads_granted += 1
-            self.stats.add("arb.granted_load")
+            self.stats.bump(self._h_granted_load)
 
         self._assign_way_hints(result, way_entry)
-        self.stats.add("arb.cycles")
-        self.stats.add("arb.bank_accesses", len(result.bank_requests))
+        self.stats.bump(self._h_cycles)
+        self.stats.bump(self._h_bank_accesses, len(result.bank_requests))
         return result
 
     # ------------------------------------------------------------------
@@ -220,4 +239,4 @@ class ArbitrationUnit:
                 bank_request.primary.way_hint = prediction.way
                 for merged in bank_request.merged:
                     merged.way_hint = prediction.way
-                self.stats.add("arb.way_hint_assigned")
+                self.stats.bump(self._h_way_hint_assigned)

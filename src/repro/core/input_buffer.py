@@ -86,6 +86,15 @@ class InputBuffer:
         self._held: Deque[MemoryAccessRequest] = deque()
         self._new: List[MemoryAccessRequest] = []
         self._mbe: Optional[MemoryAccessRequest] = None
+        # Per-cycle counters resolved to integer slots once (hot path).
+        self._h_load_in = self.stats.handle("input_buffer.load_in")
+        self._h_mbe_in = self.stats.handle("input_buffer.mbe_in")
+        self._h_page_compare = self.stats.handle("input_buffer.page_compare")
+        self._h_group_selected = self.stats.handle("input_buffer.group_selected")
+        self._h_group_size = self.stats.handle("input_buffer.group_size")
+        self._h_overflow_cycle = self.stats.handle("input_buffer.overflow_cycle")
+        self._h_held_loads = self.stats.handle("input_buffer.held_loads")
+        self._h_mbe_out = self.stats.handle("input_buffer.mbe_out")
 
     # ------------------------------------------------------------------
     # Occupancy and back-pressure
@@ -131,7 +140,7 @@ class InputBuffer:
         if len(self._new) >= self.new_loads_per_cycle:
             raise RuntimeError("too many loads submitted this cycle")
         self._new.append(request)
-        self.stats.add("input_buffer.load_in")
+        self.stats.bump(self._h_load_in)
 
     def add_mbe(self, request: MemoryAccessRequest) -> None:
         """Submit an evicted merge-buffer entry."""
@@ -140,7 +149,7 @@ class InputBuffer:
         if self._mbe is not None:
             raise RuntimeError("the MBE slot is already occupied")
         self._mbe = request
-        self.stats.add("input_buffer.mbe_in")
+        self.stats.bump(self._h_mbe_in)
 
     # ------------------------------------------------------------------
     # Page-group selection
@@ -163,22 +172,36 @@ class InputBuffer:
 
         Returns ``None`` when nothing is waiting.
         """
-        candidates = self._candidates()
-        if not candidates:
+        held = self._held
+        new = self._new
+        mbe = self._mbe
+        if held:
+            leader = held[0]
+        elif new:
+            leader = new[0]
+        elif mbe is not None:
+            leader = mbe
+        else:
             return None
-        leader = candidates[0]
         page = leader.virtual_page
         group = PageGroup(virtual_page=page)
-        for index, request in enumerate(candidates):
-            if index > 0:
-                self.stats.add("input_buffer.page_compare")
-            if request.virtual_page != page:
-                continue
-            group.members.append(request)
-            if request.is_mbe:
-                group.mbe = request
-        self.stats.add("input_buffer.group_selected")
-        self.stats.add("input_buffer.group_size", len(group.members))
+        members = group.members
+        stats = self.stats
+        h_compare = self._h_page_compare
+        first = True
+        for source in (held, new, (mbe,) if mbe is not None else ()):
+            for request in source:
+                if first:
+                    first = False
+                else:
+                    stats.bump(h_compare)
+                if request.virtual_page != page:
+                    continue
+                members.append(request)
+                if request.is_mbe:
+                    group.mbe = request
+        stats.bump(self._h_group_selected)
+        stats.bump(self._h_group_size, len(members))
         return group
 
     # ------------------------------------------------------------------
@@ -195,7 +218,7 @@ class InputBuffer:
         ]
         if self._mbe is not None and self._mbe.request_id in serviced_ids:
             self._mbe = None
-            self.stats.add("input_buffer.mbe_out")
+            self.stats.bump(self._h_mbe_out)
 
     def end_cycle(self) -> int:
         """Carry unserviced loads over to the next cycle.
@@ -203,13 +226,13 @@ class InputBuffer:
         Returns the number of loads now held; the caller may use it to model
         address-computation stalls (via :meth:`can_accept_load`).
         """
-        for request in self._new:
-            self._held.append(request)
-        self._new = []
+        if self._new:
+            self._held.extend(self._new)
+            self._new = []
         held = len(self._held)
         if held > self.held_capacity:
-            self.stats.add("input_buffer.overflow_cycle")
-        self.stats.add("input_buffer.held_loads", held)
+            self.stats.bump(self._h_overflow_cycle)
+        self.stats.bump(self._h_held_loads, held)
         return held
 
     def take_mbe(self) -> Optional[MemoryAccessRequest]:

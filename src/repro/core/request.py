@@ -11,13 +11,18 @@ Interface models create requests from pipeline instructions; the ``tag``
 field carries an opaque reference back to whatever issued the request (a
 :class:`repro.cpu.instruction.MemoryInstruction` in full simulations, a bare
 integer in unit tests).
+
+One request is allocated per in-flight memory operation, so the class uses
+``__slots__`` and resolves its address decomposition exactly once at
+construction through the layout's memoised :meth:`~repro.memory.address.AddressLayout.decompose`
+— the grouping and arbitration logic then reads plain attributes instead of
+re-slicing the address per comparison.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
@@ -35,7 +40,6 @@ class AccessKind(enum.Enum):
     MBE = "mbe"
 
 
-@dataclass
 class MemoryAccessRequest:
     """One in-flight memory access.
 
@@ -58,53 +62,69 @@ class MemoryAccessRequest:
     merged_into:
         When this load was merged with an earlier load to the same line, the
         request that actually accessed the cache.
+    virtual_page / line_in_page / bank_index:
+        Cached fields of the virtual address, decomposed once at construction.
     """
 
-    kind: AccessKind
-    virtual_address: int
-    size: int = 4
-    arrival_cycle: int = 0
-    tag: Any = None
-    layout: AddressLayout = DEFAULT_LAYOUT
-    physical_address: Optional[int] = None
-    way_hint: Optional[int] = None
-    merged_into: Optional["MemoryAccessRequest"] = None
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    __slots__ = (
+        "kind",
+        "virtual_address",
+        "size",
+        "arrival_cycle",
+        "tag",
+        "layout",
+        "physical_address",
+        "way_hint",
+        "merged_into",
+        "request_id",
+        "is_load",
+        "is_store",
+        "is_mbe",
+        "virtual_page",
+        "line_in_page",
+        "bank_index",
+        "_line_number",
+        "_subblock_pair",
+    )
+
+    def __init__(
+        self,
+        kind: AccessKind,
+        virtual_address: int,
+        size: int = 4,
+        arrival_cycle: int = 0,
+        tag: Any = None,
+        layout: AddressLayout = DEFAULT_LAYOUT,
+        physical_address: Optional[int] = None,
+        way_hint: Optional[int] = None,
+        merged_into: Optional["MemoryAccessRequest"] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.virtual_address = virtual_address
+        self.size = size
+        self.arrival_cycle = arrival_cycle
+        self.tag = tag
+        self.layout = layout
+        self.physical_address = physical_address
+        self.way_hint = way_hint
+        self.merged_into = merged_into
+        self.request_id = next(_request_ids) if request_id is None else request_id
+        self.is_load = kind is AccessKind.LOAD
+        self.is_store = kind is AccessKind.STORE
+        self.is_mbe = kind is AccessKind.MBE
+        # Decompose the virtual address exactly once (memoised per layout);
+        # the Input Buffer and Arbitration Unit compare these plain fields.
+        parts = layout.decompose(virtual_address)
+        self.virtual_page = parts.page_id
+        self.line_in_page = parts.line_in_page
+        self.bank_index = parts.bank_index
+        self._line_number = parts.line_number
+        self._subblock_pair = parts.subblock_in_line >> 1
 
     # ------------------------------------------------------------------
     # Convenience accessors used by the grouping / arbitration logic
     # ------------------------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        """True for demand loads (merge-buffer evictions are writes)."""
-        return self.kind is AccessKind.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores still travelling towards the store buffer."""
-        return self.kind is AccessKind.STORE
-
-    @property
-    def is_mbe(self) -> bool:
-        """True for merge-buffer entries being written back to the cache."""
-        return self.kind is AccessKind.MBE
-
-    @property
-    def virtual_page(self) -> int:
-        """Virtual page id of the access."""
-        return self.layout.page_id(self.virtual_address)
-
-    @property
-    def line_in_page(self) -> int:
-        """Line index within the page (the field the narrow comparators use)."""
-        return self.layout.line_in_page(self.virtual_address)
-
-    @property
-    def bank_index(self) -> int:
-        """L1 bank the access maps to (valid for both VA and PA since the
-        bank is selected from page-offset bits)."""
-        return self.layout.bank_index(self.virtual_address)
-
     @property
     def translated(self) -> bool:
         """True once a physical address has been attached."""
@@ -112,7 +132,7 @@ class MemoryAccessRequest:
 
     def attach_translation(self, physical_page: int) -> None:
         """Fill in the physical address from a translated page id."""
-        offset = self.layout.page_offset(self.virtual_address)
+        offset = self.virtual_address & (self.layout.page_bytes - 1)
         self.physical_address = self.layout.compose(physical_page, offset)
 
     def same_page_as(self, other: "MemoryAccessRequest") -> bool:
@@ -121,12 +141,13 @@ class MemoryAccessRequest:
 
     def same_line_as(self, other: "MemoryAccessRequest") -> bool:
         """True when both requests touch the same cache line."""
-        return self.layout.same_line(self.virtual_address, other.virtual_address)
+        return self._line_number == other._line_number
 
     def same_subblock_pair_as(self, other: "MemoryAccessRequest") -> bool:
         """True when both requests fall in the same aligned sub-block pair."""
-        return self.layout.same_page(self.virtual_address, other.virtual_address) and (
-            self.layout.same_subblock_pair(self.virtual_address, other.virtual_address)
+        return (
+            self._line_number == other._line_number
+            and self._subblock_pair == other._subblock_pair
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -173,6 +173,11 @@ class WayTable:
         self._entries: List[WayTableEntry] = [
             WayTableEntry(layout) for _ in range(tlb.entries)
         ]
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_read = self.stats.handle(f"{name}.read")
+        self._h_update = self.stats.handle(f"{name}.update")
+        self._h_clear = self.stats.handle(f"{name}.clear")
+        self._h_entry_transfer = self.stats.handle(f"{name}.entry_transfer")
 
     # ------------------------------------------------------------------
     def entry(self, slot: int) -> WayTableEntry:
@@ -181,7 +186,7 @@ class WayTable:
 
     def read(self, slot: int) -> WayTableEntry:
         """Read the entry of ``slot`` (counted as one array read)."""
-        self.stats.add(f"{self.name}.read")
+        self.stats.bump(self._h_read)
         return self._entries[slot]
 
     def lookup_line(self, slot: int, line_in_page: int) -> WayPrediction:
@@ -197,22 +202,22 @@ class WayTable:
 
     def update_line(self, slot: int, line_in_page: int, way: int) -> bool:
         """Record a fill / feedback update for one line (one array write)."""
-        self.stats.add(f"{self.name}.update")
+        self.stats.bump(self._h_update)
         return self._entries[slot].update(line_in_page, way)
 
     def invalidate_line(self, slot: int, line_in_page: int) -> None:
         """Clear validity of one line (cache eviction); one array write."""
-        self.stats.add(f"{self.name}.update")
+        self.stats.bump(self._h_update)
         self._entries[slot].invalidate_line(line_in_page)
 
     def clear_entry(self, slot: int) -> None:
         """Invalidate the whole entry (page replaced)."""
-        self.stats.add(f"{self.name}.clear")
+        self.stats.bump(self._h_clear)
         self._entries[slot].clear()
 
     def write_entry(self, slot: int, entry: WayTableEntry) -> None:
         """Overwrite the entry of ``slot`` with ``entry`` (entry transfer)."""
-        self.stats.add(f"{self.name}.entry_transfer")
+        self.stats.bump(self._h_entry_transfer)
         self._entries[slot].copy_from(entry)
 
     @property
@@ -257,6 +262,7 @@ class WayTableHierarchy:
         self._last_uwt_slot: Optional[int] = None
         translation.utlb.add_eviction_callback(self._on_utlb_replacement)
         translation.tlb.add_eviction_callback(self._on_tlb_replacement)
+        self._h_feedback_update = self.stats.handle("way_pred.feedback_update")
 
     # ------------------------------------------------------------------
     # TLB synchronisation
@@ -300,12 +306,12 @@ class WayTableHierarchy:
         slot = self.translation.utlb.lookup(virtual_page, count_event=False)
         if slot is not None:
             self._last_uwt_slot = slot
-            self.uwt.stats.add("uwt.read")
+            self.uwt.stats.bump(self.uwt._h_read)
             return self.uwt.entry(slot)
         tlb_slot = self.translation.tlb.lookup(virtual_page, count_event=False)
         if tlb_slot is not None:
             self._last_uwt_slot = None
-            self.wt.stats.add("wt.read")
+            self.wt.stats.bump(self.wt._h_read)
             return self.wt.entry(tlb_slot)
         return None
 
@@ -336,13 +342,13 @@ class WayTableHierarchy:
             return
         if self._last_uwt_slot is None:
             return
-        line_in_page = self.layout.line_in_page(physical_address)
+        line_in_page = self.layout.decompose(physical_address).line_in_page
         self.uwt.update_line(self._last_uwt_slot, line_in_page, way)
-        self.stats.add("way_pred.feedback_update")
+        self.stats.bump(self._h_feedback_update)
 
     def _locate_slot_for_physical(self, physical_address: int):
         """Find (table, slot) owning the page of ``physical_address``."""
-        ppage = self.layout.page_id(physical_address)
+        ppage = self.layout.decompose(physical_address).page_id
         slot = self.translation.utlb.reverse_lookup(ppage)
         if slot is not None:
             return self.uwt, slot

@@ -7,12 +7,17 @@ Dependencies are expressed as *backward distances* (``deps``): a value of
 positions earlier in the trace".  Distances keep traces relocatable (they can
 be sliced or concatenated) and are resolved to absolute sequence numbers by
 the pipeline at dispatch time.
+
+Millions of :class:`Instruction` objects are alive during a sweep, and the
+pipeline inspects their kind on every issue/commit, so the class is a
+hand-rolled ``__slots__`` class (no per-instance ``__dict__``) and the kind
+predicates (``is_load`` ...) are plain attributes computed once at
+construction instead of properties.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 
@@ -24,7 +29,6 @@ class InstructionKind(enum.Enum):
     COMPUTE = "compute"
 
 
-@dataclass
 class Instruction:
     """One dynamic instruction of a workload trace.
 
@@ -44,40 +48,40 @@ class Instruction:
         trace are ignored at dispatch.
     seq:
         Absolute position in the trace; filled by the trace container.
+    is_load / is_store / is_memory:
+        Kind predicates, precomputed at construction (hot-path reads).
     """
 
-    kind: InstructionKind
-    address: Optional[int] = None
-    size: int = 4
-    deps: Tuple[int, ...] = field(default_factory=tuple)
-    seq: int = -1
+    __slots__ = ("kind", "address", "size", "deps", "seq", "is_load", "is_store", "is_memory")
 
-    def __post_init__(self) -> None:
-        if self.kind in (InstructionKind.LOAD, InstructionKind.STORE):
-            if self.address is None:
-                raise ValueError(f"{self.kind.value} instructions need an address")
-            if self.size <= 0:
+    def __init__(
+        self,
+        kind: InstructionKind,
+        address: Optional[int] = None,
+        size: int = 4,
+        deps: Tuple[int, ...] = (),
+        seq: int = -1,
+    ) -> None:
+        self.kind = kind
+        self.address = address
+        self.size = size
+        self.deps = tuple(deps)
+        self.seq = seq
+        is_load = kind is InstructionKind.LOAD
+        is_store = kind is InstructionKind.STORE
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_memory = is_load or is_store
+        if self.is_memory:
+            if address is None:
+                raise ValueError(f"{kind.value} instructions need an address")
+            if size <= 0:
                 raise ValueError("memory accesses need a positive size")
         for distance in self.deps:
             if distance <= 0:
                 raise ValueError("dependency distances must be positive (backward)")
 
     # ------------------------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        """True for loads."""
-        return self.kind is InstructionKind.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores."""
-        return self.kind is InstructionKind.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        """True for loads and stores."""
-        return self.kind is not InstructionKind.COMPUTE
-
     def producers(self) -> Tuple[int, ...]:
         """Absolute sequence numbers of this instruction's producers.
 
@@ -87,6 +91,27 @@ class Instruction:
         if self.seq < 0:
             raise ValueError("instruction sequence number not assigned yet")
         return tuple(self.seq - d for d in self.deps if self.seq - d >= 0)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (self.kind, self.address, self.size, self.deps, self.seq) == (
+            other.kind,
+            other.address,
+            other.size,
+            other.deps,
+            other.seq,
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the dataclass it replaced
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        address = f"{self.address:#x}" if self.address is not None else "None"
+        return (
+            f"Instruction(kind={self.kind!r}, address={address}, size={self.size}, "
+            f"deps={self.deps!r}, seq={self.seq})"
+        )
 
 
 def load(address: int, size: int = 4, deps: Tuple[int, ...] = ()) -> Instruction:

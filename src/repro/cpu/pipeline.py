@@ -18,18 +18,42 @@ interface package does not need to import this module)::
     commit_store(tag, cycle)
     tick(cycle)  -> list[(tag, data_ready_cycle)]
     finalize(cycle)                                (drain write buffers)
+    quiescent() -> bool                            (optional, idle detection)
 
 Execution time is the cycle in which the last instruction commits, which is
 what Fig. 4a normalizes across configurations.
+
+Hot-path notes
+--------------
+``run`` is the innermost loop of every sweep, so its bookkeeping is arrays
+indexed by sequence number rather than dictionaries (``in_flight``,
+``produced``, ``consumers``), instructions completing one cycle out
+(computes, stores, L1-hit notifications) take a bucket list instead of the
+completion-event heap, and per-cycle statistics are accumulated in locals
+and flushed once at the end of the run (sums of integers, so the flushed
+totals are bit-identical to per-cycle accumulation).
+
+Idle fast-forward
+-----------------
+Low-IPC workloads (``mcf``-style pointer chasing) spend the vast majority of
+their cycles waiting on a single outstanding DRAM miss or page walk.  When
+nothing can happen this cycle — no instruction is ready to issue, no entry
+can commit, fetch is blocked (ROB full or trace exhausted) and the interface
+reports itself quiescent — the pipeline jumps its clock directly to the next
+scheduled completion event instead of spinning through empty cycles.  The
+skipped cycles are accounted into the ``pipeline.cycles`` counter exactly as
+if they had been simulated, so results (cycles, statistics, energy) are
+bit-identical with the fast-forward enabled or disabled; only the wall time
+changes.  ``fast_forwarded_cycles`` records how many cycles were skipped.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
 
-from repro.cpu.instruction import Instruction, InstructionKind
+from repro.cpu.instruction import Instruction
 from repro.cpu.rob import ReorderBuffer, RobEntry
 from repro.stats import StatCounters
 
@@ -71,12 +95,16 @@ class OutOfOrderPipeline:
         params: PipelineParametersLite = PipelineParametersLite(),
         stats: Optional[StatCounters] = None,
         max_cycles: Optional[int] = None,
+        enable_fast_forward: bool = True,
     ) -> None:
         self.interface = interface
         self.params = params
         self.stats = stats if stats is not None else StatCounters()
         self.max_cycles = max_cycles
         self.rob = ReorderBuffer(params.rob_entries)
+        self.enable_fast_forward = enable_fast_forward
+        #: idle cycles skipped by the fast-forward in the most recent run()
+        self.fast_forwarded_cycles = 0
 
     # ------------------------------------------------------------------
     def run(self, trace: Iterable[Instruction]) -> PipelineResult:
@@ -86,29 +114,64 @@ class OutOfOrderPipeline:
             if instruction.seq < 0:
                 instruction.seq = seq
         total = len(instructions)
+        self.fast_forwarded_cycles = 0
         if total == 0:
             return PipelineResult(cycles=0, instructions=0, loads=0, stores=0, computes=0)
+        # Sequence numbers need not start at zero (a warmed-up run receives a
+        # slice of a trace whose seqs are global positions); the seq-indexed
+        # arrays below are sized to the largest seq in this run.
+        capacity = total
+        for instruction in instructions:
+            if instruction.seq >= capacity:
+                capacity = instruction.seq + 1
 
         params = self.params
         max_cycles = self.max_cycles or (200 * total + 100_000)
+        issue_width = params.issue_width
+        fetch_width = params.fetch_width
+        commit_width = params.commit_width
+        compute_latency = params.compute_latency
+
+        interface = self.interface
+        begin_cycle = interface.begin_cycle
+        can_accept_load = interface.can_accept_load
+        can_accept_store = interface.can_accept_store
+        reserve_load_slot = interface.reserve_load_slot
+        reserve_store_slot = interface.reserve_store_slot
+        submit_load = interface.submit_load
+        submit_store = interface.submit_store
+        tick = interface.tick
+        # Optional protocol extension: interfaces without quiescent() simply
+        # never fast-forward (unit-test stubs keep working unchanged).
+        quiescent = getattr(interface, "quiescent", None)
+        fast_forward = self.enable_fast_forward and quiescent is not None
+
+        rob = self.rob
+        rob_entries = rob.entries
+        rob_buffer = rob._buffer  # hot path: dispatch/commit are inlined below
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         next_fetch = 0
         committed = 0
         cycle = 0
         last_commit_cycle = 0
 
-        #: entries indexed by sequence number (only in-flight ones are kept)
-        in_flight: Dict[int, RobEntry] = {}
-        #: producer seq -> consumer entries waiting on it
-        consumers: Dict[int, List[RobEntry]] = {}
-        #: completed producer seqs (results available); kept until no longer needed
-        produced: set = set()
+        #: seq -> in-flight RobEntry (None once committed / not yet dispatched)
+        in_flight: List[Optional[RobEntry]] = [None] * capacity
+        #: seq -> 1 once the instruction's result is available
+        produced = bytearray(capacity)
+        #: seq -> entries waiting on that producer (None when nobody waits)
+        consumers: List[Optional[List[RobEntry]]] = [None] * capacity
         #: min-heap of ready-to-issue sequence numbers (oldest first)
         ready_heap: List[int] = []
         #: memory ops that were ready but found no slot this cycle
         deferred: List[int] = []
-        #: min-heap of (completion_cycle, seq) events
-        completion_events: List[Tuple[int, int]] = []
+        #: entries completing exactly next cycle (computes, stores, L1 hits)
+        due_next: List[RobEntry] = []
+        #: min-heap of (completion_cycle, seq, entry) for longer latencies;
+        #: seq breaks ties so the entry itself is never compared
+        completion_events: List[Tuple[int, int, RobEntry]] = []
         #: stores must claim store-buffer entries in program order (as real
         #: store queues allocate at dispatch); otherwise younger stores can
         #: fill the SB and deadlock an older store at the ROB head.
@@ -116,6 +179,12 @@ class OutOfOrderPipeline:
         store_order_head = 0
 
         loads = stores = computes = 0
+        # Per-cycle counters accumulated locally, flushed at the end of run().
+        cycles_counted = 0
+        issued_total = 0
+        dispatched_total = 0
+
+        bucket_latency_ok = compute_latency == 1
 
         while committed < total:
             if cycle > max_cycles:
@@ -123,58 +192,90 @@ class OutOfOrderPipeline:
                     f"pipeline exceeded {max_cycles} cycles; likely deadlock "
                     f"({committed}/{total} committed)"
                 )
-            self.interface.begin_cycle(cycle)
+            begin_cycle(cycle)
 
             # ----------------------------------------------------------
-            # 1. Retire completion events scheduled for this cycle.
+            # 1. Retire completions scheduled for this cycle.  Processing
+            #    order within one cycle does not affect outcomes (waking a
+            #    consumer only pushes onto the ready heap), so the bucket
+            #    of one-cycle completions is drained before the heap.
             # ----------------------------------------------------------
+            if due_next:
+                due_now = due_next
+                due_next = []
+                for entry in due_now:
+                    if entry.completed:
+                        continue
+                    entry.completed = True
+                    entry.complete_cycle = cycle
+                    seq = entry.instruction.seq
+                    produced[seq] = 1
+                    waiting = consumers[seq]
+                    if waiting is not None:
+                        consumers[seq] = None
+                        for consumer in waiting:
+                            consumer.pending_deps -= 1
+                            if consumer.pending_deps == 0 and not consumer.issued:
+                                heappush(ready_heap, consumer.instruction.seq)
             while completion_events and completion_events[0][0] <= cycle:
-                _, seq = heapq.heappop(completion_events)
-                entry = in_flight.get(seq)
-                if entry is None or entry.completed:
+                entry = heappop(completion_events)[2]
+                if entry.completed:
                     continue
-                self._complete(entry, cycle, produced, consumers, ready_heap)
+                entry.completed = True
+                entry.complete_cycle = cycle
+                seq = entry.instruction.seq
+                produced[seq] = 1
+                waiting = consumers[seq]
+                if waiting is not None:
+                    consumers[seq] = None
+                    for consumer in waiting:
+                        consumer.pending_deps -= 1
+                        if consumer.pending_deps == 0 and not consumer.issued:
+                            heappush(ready_heap, consumer.instruction.seq)
 
             # ----------------------------------------------------------
             # 2. Issue ready instructions (oldest first, up to issue width).
             # ----------------------------------------------------------
             if deferred:
                 for seq in deferred:
-                    heapq.heappush(ready_heap, seq)
+                    heappush(ready_heap, seq)
                 deferred = []
             issued = 0
             postponed: List[int] = []
+            postponed_load = False
             loads_blocked = stores_blocked = False
-            while ready_heap and issued < params.issue_width:
-                seq = heapq.heappop(ready_heap)
-                entry = in_flight.get(seq)
+            while ready_heap and issued < issue_width:
+                seq = heappop(ready_heap)
+                entry = in_flight[seq]
                 if entry is None or entry.issued:
                     continue
                 instruction = entry.instruction
-                if instruction.kind is InstructionKind.COMPUTE:
+                if not instruction.is_memory:
                     entry.issued = True
                     entry.issue_cycle = cycle
-                    heapq.heappush(
-                        completion_events, (cycle + params.compute_latency, seq)
-                    )
+                    if bucket_latency_ok:
+                        due_next.append(entry)
+                    else:
+                        heappush(
+                            completion_events, (cycle + compute_latency, seq, entry)
+                        )
                     issued += 1
                 elif instruction.is_load:
                     if (
                         not loads_blocked
-                        and self.interface.can_accept_load()
-                        and self.interface.reserve_load_slot()
+                        and can_accept_load()
+                        and reserve_load_slot()
                     ):
                         entry.issued = True
                         entry.issue_cycle = cycle
-                        self.interface.submit_load(
-                            seq, instruction.address, instruction.size, cycle
-                        )
+                        submit_load(seq, instruction.address, instruction.size, cycle)
                         issued += 1
                     else:
                         # Out of load slots this cycle: keep the load for the
                         # next cycle but let younger compute work proceed.
                         loads_blocked = True
                         postponed.append(seq)
+                        postponed_load = True
                 else:  # store
                     in_store_order = (
                         store_order_head < len(store_order)
@@ -183,85 +284,158 @@ class OutOfOrderPipeline:
                     if (
                         not stores_blocked
                         and in_store_order
-                        and self.interface.can_accept_store()
-                        and self.interface.reserve_store_slot()
+                        and can_accept_store()
+                        and reserve_store_slot()
                     ):
                         store_order_head += 1
                         entry.issued = True
                         entry.issue_cycle = cycle
-                        self.interface.submit_store(
-                            seq, instruction.address, instruction.size, cycle
-                        )
+                        submit_store(seq, instruction.address, instruction.size, cycle)
                         # Stores produce no register value: they are complete
                         # (for commit purposes) once their address is computed.
-                        heapq.heappush(completion_events, (cycle + 1, seq))
+                        due_next.append(entry)
                         issued += 1
                     else:
                         stores_blocked = True
                         postponed.append(seq)
-            deferred.extend(postponed)
-            self.stats.add("pipeline.issued", issued)
+            deferred = postponed  # drained into ready_heap above
+            deferred_has_load = postponed_load
+            issued_total += issued
 
             # ----------------------------------------------------------
             # 3. Advance the interface; schedule load completions.
             # ----------------------------------------------------------
-            for tag, ready_cycle in self.interface.tick(cycle):
-                entry = in_flight.get(tag)
+            for tag, ready_cycle in tick(cycle):
+                entry = in_flight[tag] if 0 <= tag < capacity else None
                 if entry is None or entry.completed:
                     continue
-                heapq.heappush(completion_events, (max(ready_cycle, cycle + 1), tag))
-
-            # ----------------------------------------------------------
-            # 4. Commit in order.
-            # ----------------------------------------------------------
-            for entry in self.rob.commit_ready(params.commit_width):
-                committed += 1
-                last_commit_cycle = cycle
-                instruction = entry.instruction
-                if instruction.is_load:
-                    loads += 1
-                elif instruction.is_store:
-                    stores += 1
-                    self.interface.commit_store(instruction.seq, cycle)
+                if ready_cycle <= cycle + 1:
+                    due_next.append(entry)
                 else:
-                    computes += 1
-                in_flight.pop(instruction.seq, None)
-                consumers.pop(instruction.seq, None)
-            self.stats.add("pipeline.cycles")
+                    heappush(completion_events, (ready_cycle, tag, entry))
 
             # ----------------------------------------------------------
-            # 5. Fetch / dispatch into the ROB.
+            # 4. Commit in order (inlined rob.commit_ready()).
             # ----------------------------------------------------------
-            fetched = 0
-            while (
-                fetched < params.fetch_width
-                and next_fetch < total
-                and not self.rob.full
-            ):
-                instruction = instructions[next_fetch]
-                entry = self.rob.dispatch(instruction, cycle)
-                in_flight[instruction.seq] = entry
-                if instruction.is_store:
-                    store_order.append(instruction.seq)
-                pending = 0
-                for producer in instruction.producers():
-                    if producer in produced or producer not in in_flight:
-                        continue
-                    consumers.setdefault(producer, []).append(entry)
-                    pending += 1
-                entry.pending_deps = pending
-                if pending == 0:
-                    heapq.heappush(ready_heap, instruction.seq)
-                next_fetch += 1
-                fetched += 1
-            self.stats.add("pipeline.dispatched", fetched)
+            if rob_buffer and rob_buffer[0].completed:
+                commits = 0
+                while (
+                    commits < commit_width
+                    and rob_buffer
+                    and rob_buffer[0].completed
+                ):
+                    entry = rob_buffer.popleft()
+                    commits += 1
+                    committed += 1
+                    last_commit_cycle = cycle
+                    instruction = entry.instruction
+                    if instruction.is_load:
+                        loads += 1
+                    elif instruction.is_store:
+                        stores += 1
+                        interface.commit_store(instruction.seq, cycle)
+                    else:
+                        computes += 1
+                    in_flight[instruction.seq] = None
+                    consumers[instruction.seq] = None
+            cycles_counted += 1
+
+            # ----------------------------------------------------------
+            # 5. Fetch / dispatch into the ROB (inlined rob.dispatch(): the
+            #    capacity check below is the same one dispatch() performs).
+            # ----------------------------------------------------------
+            if next_fetch < total:
+                fetched = 0
+                while (
+                    fetched < fetch_width
+                    and next_fetch < total
+                    and len(rob_buffer) < rob_entries
+                ):
+                    instruction = instructions[next_fetch]
+                    entry = RobEntry(instruction, cycle)
+                    rob_buffer.append(entry)
+                    seq = instruction.seq
+                    in_flight[seq] = entry
+                    if instruction.is_store:
+                        store_order.append(seq)
+                    pending = 0
+                    if instruction.deps:
+                        for distance in instruction.deps:
+                            producer = seq - distance
+                            if (
+                                producer < 0
+                                or produced[producer]
+                                or in_flight[producer] is None
+                            ):
+                                continue
+                            waiting = consumers[producer]
+                            if waiting is None:
+                                waiting = consumers[producer] = []
+                            waiting.append(entry)
+                            pending += 1
+                        entry.pending_deps = pending
+                    if pending == 0:
+                        heappush(ready_heap, seq)
+                    next_fetch += 1
+                    fetched += 1
+                dispatched_total += fetched
 
             cycle += 1
 
+            # ----------------------------------------------------------
+            # 6. Idle fast-forward: if the machine is fully stalled waiting
+            #    for a future completion event, jump the clock to it.  Each
+            #    skipped cycle would have been a complete no-op (nothing to
+            #    retire/issue/tick/commit/fetch), so only the cycle counter
+            #    needs advancing — results stay bit-identical.
+            #
+            #    Deferred memory ops require care: their issue attempt used
+            #    *pre-tick* state, but this cycle's tick may have released
+            #    the back-pressure that blocked them.  A quiescent interface
+            #    holds no unserviced loads, so its load queue is drained and
+            #    a deferred *load* would always issue next cycle — never
+            #    skip then.  A deferred *store* can only issue next cycle if
+            #    it heads the program-order store sequence and the store
+            #    buffer has room; both are stable until a commit or a
+            #    completion event, so anything else is safe to skip across.
+            # ----------------------------------------------------------
+            if (
+                fast_forward
+                and not ready_heap
+                and not due_next
+                and completion_events
+                and completion_events[0][0] > cycle
+                and (next_fetch >= total or len(rob_buffer) >= rob_entries)
+                and committed < total
+                and not (rob_buffer and rob_buffer[0].completed)
+                and (
+                    not deferred
+                    or (
+                        not deferred_has_load
+                        and (
+                            store_order_head >= len(store_order)
+                            or store_order[store_order_head] not in deferred
+                            or not can_accept_store()
+                        )
+                    )
+                )
+                and quiescent()
+            ):
+                target = completion_events[0][0]
+                skipped = target - cycle
+                cycles_counted += skipped
+                self.fast_forwarded_cycles += skipped
+                cycle = target
+
         total_cycles = last_commit_cycle + 1
-        self.interface.finalize(total_cycles)
-        self.stats.set("pipeline.total_cycles", total_cycles)
-        self.stats.set("pipeline.committed", committed)
+        interface.finalize(total_cycles)
+        # Flush the locally accumulated per-cycle counters in one shot.
+        stats = self.stats
+        stats.add("pipeline.issued", issued_total)
+        stats.add("pipeline.cycles", cycles_counted)
+        stats.add("pipeline.dispatched", dispatched_total)
+        stats.set("pipeline.total_cycles", total_cycles)
+        stats.set("pipeline.committed", committed)
         return PipelineResult(
             cycles=total_cycles,
             instructions=total,
@@ -269,22 +443,3 @@ class OutOfOrderPipeline:
             stores=stores,
             computes=computes,
         )
-
-    # ------------------------------------------------------------------
-    def _complete(
-        self,
-        entry: RobEntry,
-        cycle: int,
-        produced: set,
-        consumers: Dict[int, List[RobEntry]],
-        ready_heap: List[int],
-    ) -> None:
-        """Mark an instruction complete and wake its consumers."""
-        entry.completed = True
-        entry.complete_cycle = cycle
-        seq = entry.instruction.seq
-        produced.add(seq)
-        for consumer in consumers.pop(seq, []):
-            consumer.pending_deps -= 1
-            if consumer.pending_deps == 0 and not consumer.issued:
-                heapq.heappush(ready_heap, consumer.instruction.seq)

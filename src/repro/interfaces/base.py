@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Deque, List, Optional, Tuple
 
 from repro.buffers.load_queue import LoadQueue
@@ -31,22 +30,30 @@ from repro.tlb.tlb import TLBHierarchy
 CompletedAccess = Tuple[Any, int]
 
 
-@dataclass
 class PendingLoad:
-    """A load waiting for (or undergoing) its cache access."""
+    """A load waiting for (or undergoing) its cache access (slotted)."""
 
-    tag: Any
-    virtual_address: int
-    size: int
-    submit_cycle: int
+    __slots__ = ("tag", "virtual_address", "size", "submit_cycle")
+
+    def __init__(self, tag: Any, virtual_address: int, size: int, submit_cycle: int) -> None:
+        self.tag = tag
+        self.virtual_address = virtual_address
+        self.size = size
+        self.submit_cycle = submit_cycle
 
 
-@dataclass
 class PendingWriteback:
-    """A merge-buffer entry waiting for a cache write slot."""
+    """A merge-buffer entry waiting for a cache write slot (slotted)."""
 
-    virtual_line_address: int
-    physical_line_address: Optional[int] = None
+    __slots__ = ("virtual_line_address", "physical_line_address")
+
+    def __init__(
+        self,
+        virtual_line_address: int,
+        physical_line_address: Optional[int] = None,
+    ) -> None:
+        self.virtual_line_address = virtual_line_address
+        self.physical_line_address = physical_line_address
 
 
 class BaseL1Interface(ABC):
@@ -95,6 +102,12 @@ class BaseL1Interface(ABC):
         self._cycle_stores_used = 0
         self._cycle_flex_used = 0
         self._current_cycle = 0
+        # Per-access counters resolved to integer slots once (hot path).
+        self._h_loads_submitted = self.stats.handle("interface.loads_submitted")
+        self._h_stores_submitted = self.stats.handle("interface.stores_submitted")
+        self._h_mbe_queued = self.stats.handle("interface.mbe_queued")
+        self._h_mbe_written = self.stats.handle("interface.mbe_written")
+        self._h_load_accesses = self.stats.handle("interface.load_accesses")
 
     # ------------------------------------------------------------------
     # Per-cycle slot management (address computation units, Table I)
@@ -148,13 +161,13 @@ class BaseL1Interface(ABC):
         """Accept a load whose address computation finished this cycle."""
         self.load_queue.allocate(tag, address, cycle)
         self.load_queue.mark_issued(tag, cycle)
-        self.stats.add("interface.loads_submitted")
+        self.stats.bump(self._h_loads_submitted)
         self._enqueue_load(PendingLoad(tag=tag, virtual_address=address, size=size, submit_cycle=cycle))
 
     def submit_store(self, tag: Any, address: int, size: int, cycle: int) -> None:
         """Accept a store whose address computation finished this cycle."""
         self.store_buffer.insert(tag, address, size, cycle)
-        self.stats.add("interface.stores_submitted")
+        self.stats.bump(self._h_stores_submitted)
         self._on_store_submitted(address, size, cycle)
 
     def commit_store(self, tag: Any, cycle: int) -> None:
@@ -179,19 +192,47 @@ class BaseL1Interface(ABC):
         self._pending_writebacks.append(
             PendingWriteback(virtual_line_address=mbe.line_address)
         )
-        self.stats.add("interface.mbe_queued")
+        self.stats.bump(self._h_mbe_queued)
 
     # ------------------------------------------------------------------
     # Per-cycle servicing
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> List[CompletedAccess]:
         """Advance the interface by one cycle; return load completions."""
-        self._drain_committed_stores(cycle)
+        if self.store_buffer.committed_count:
+            self._drain_committed_stores(cycle)
         completions = self._service_cycle(cycle)
-        for tag, ready in completions:
-            self.load_queue.mark_complete(tag, ready)
-            self.load_queue.release(tag)
+        if completions:
+            mark_complete = self.load_queue.mark_complete
+            release = self.load_queue.release
+            for tag, ready in completions:
+                mark_complete(tag, ready)
+                release(tag)
         return completions
+
+    # ------------------------------------------------------------------
+    # Quiescence (pipeline idle fast-forward)
+    # ------------------------------------------------------------------
+    def quiescent(self) -> bool:
+        """True when :meth:`tick` would be a pure no-op this and every
+        following cycle until new work arrives.
+
+        The pipeline uses this to fast-forward its clock across long stalls
+        (e.g. a pointer-chasing load missing to DRAM): when no loads are
+        queued anywhere, no committed stores wait to drain and no merge
+        buffer entries / write-backs are in flight, ticking the interface
+        cycle by cycle cannot change any architectural or counter state, so
+        the clock may jump straight to the next completion event.
+        """
+        return (
+            not self._pending_writebacks
+            and self.store_buffer.committed_count == 0
+            and self._loads_quiescent()
+        )
+
+    def _loads_quiescent(self) -> bool:
+        """Subclass hook: True when no load is queued before the cache."""
+        return True
 
     @abstractmethod
     def _enqueue_load(self, load: PendingLoad) -> None:
@@ -230,7 +271,7 @@ class BaseL1Interface(ABC):
                 translation.physical_address
             )
         self.hierarchy.l1.store(writeback.physical_line_address, way_hint=way_hint)
-        self.stats.add("interface.mbe_written")
+        self.stats.bump(self._h_mbe_written)
 
     # ------------------------------------------------------------------
     # End-of-run drain

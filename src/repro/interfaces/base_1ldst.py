@@ -54,6 +54,9 @@ class BaselineSingleInterface(BaseL1Interface):
     def _enqueue_load(self, load: PendingLoad) -> None:
         self._pending_loads.append(load)
 
+    def _loads_quiescent(self) -> bool:
+        return not self._pending_loads
+
     def _on_store_submitted(self, address: int, size: int, cycle: int) -> None:
         # The baseline translates every memory reference individually; the
         # store's translation shares the cycle's single TLB port with its
@@ -71,7 +74,7 @@ class BaselineSingleInterface(BaseL1Interface):
             outcome = self.hierarchy.l1.load(translation.physical_address)
             ready = cycle + translation.latency + outcome.latency
             completions.append((load.tag, ready))
-            self.stats.add("interface.load_accesses")
+            self.stats.bump(self._h_load_accesses)
         elif self._pending_writebacks:
             self._writeback_to_cache(self._pending_writebacks.popleft())
         return completions

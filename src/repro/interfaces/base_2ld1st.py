@@ -52,6 +52,7 @@ class BaselineDualLoadInterface(BaseL1Interface):
         )
         self.loads_per_cycle = loads_per_cycle
         self._pending_loads: Deque[PendingLoad] = deque()
+        self._h_bank_conflict = self.stats.handle("interface.bank_conflict")
 
     # ------------------------------------------------------------------
     def _can_accept_load_extra(self) -> bool:
@@ -59,6 +60,9 @@ class BaselineDualLoadInterface(BaseL1Interface):
 
     def _enqueue_load(self, load: PendingLoad) -> None:
         self._pending_loads.append(load)
+
+    def _loads_quiescent(self) -> bool:
+        return not self._pending_loads
 
     def _on_store_submitted(self, address: int, size: int, cycle: int) -> None:
         # Each memory reference is translated individually through one of the
@@ -69,6 +73,8 @@ class BaselineDualLoadInterface(BaseL1Interface):
     def _service_cycle(self, cycle: int) -> List[CompletedAccess]:
         """Service up to two loads and one write-back, within bank port limits."""
         completions: List[CompletedAccess] = []
+        if not self._pending_loads and not self._pending_writebacks:
+            return completions
         bank_accesses: Dict[int, int] = {}
         bank_writes: Dict[int, int] = {}
 
@@ -80,7 +86,7 @@ class BaselineDualLoadInterface(BaseL1Interface):
             bank = self.layout.bank_index(load.virtual_address)
             if bank_accesses.get(bank, 0) >= self._MAX_ACCESSES_PER_BANK:
                 deferred.append(load)
-                self.stats.add("interface.bank_conflict")
+                self.stats.bump(self._h_bank_conflict)
                 continue
             translation = self._translate(load.virtual_address)
             self._forwarding_lookups(load.virtual_address, load.size, split=False)
@@ -88,7 +94,7 @@ class BaselineDualLoadInterface(BaseL1Interface):
             bank_accesses[bank] = bank_accesses.get(bank, 0) + 1
             ready = cycle + translation.latency + outcome.latency
             completions.append((load.tag, ready))
-            self.stats.add("interface.load_accesses")
+            self.stats.bump(self._h_load_accesses)
             serviced += 1
         for load in reversed(deferred):
             self._pending_loads.appendleft(load)
@@ -108,7 +114,7 @@ class BaselineDualLoadInterface(BaseL1Interface):
             ):
                 self._pending_writebacks.popleft()
                 self.hierarchy.l1.store(writeback.physical_line_address)
-                self.stats.add("interface.mbe_written")
+                self.stats.bump(self._h_mbe_written)
                 bank_accesses[bank] = bank_accesses.get(bank, 0) + 1
                 bank_writes[bank] = bank_writes.get(bank, 0) + 1
 

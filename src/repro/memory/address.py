@@ -20,11 +20,20 @@ The cache sees the same address as ``tag | set | bank | line offset``; the
 bank is selected by the low bits of the line address so that consecutive
 lines map to different banks (the interleaving the paper relies on to service
 several loads per cycle).
+
+Because the field extractors sit on the simulator's innermost loops, every
+derived width, shift and mask is computed *once* at construction time and
+stored as a plain attribute (the layout is frozen, so they can never go
+stale), and :meth:`AddressLayout.decompose` memoises the full field split of
+an address — page, line, bank, set, tag — so each distinct address is
+decomposed a single time per layout no matter how many interfaces,
+configurations or sweep cells touch it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Dict, NamedTuple
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -53,6 +62,19 @@ def align_up(address: int, granule: int) -> int:
     return (address + granule - 1) & ~(granule - 1)
 
 
+class AddressParts(NamedTuple):
+    """The complete field split of one address (see :meth:`AddressLayout.decompose`)."""
+
+    page_id: int
+    page_offset: int
+    line_number: int
+    line_in_page: int
+    subblock_in_line: int
+    bank_index: int
+    set_index: int
+    tag: int
+
+
 @dataclass(frozen=True)
 class AddressLayout:
     """Geometry of the simulated address space and L1 data cache.
@@ -76,6 +98,9 @@ class AddressLayout:
         Number of independent single-ported L1 banks; 4 in the paper.
     subblock_bytes:
         Width of a data-array sub-block; 16 bytes (128 bit) in the paper.
+
+    All derived widths (``page_offset_bits``, ``tag_bits``, ...) are plain
+    attributes precomputed at construction time.
     """
 
     address_bits: int = 32
@@ -97,7 +122,8 @@ class AddressLayout:
         ):
             if not _is_power_of_two(getattr(self, name)):
                 raise ValueError(f"{name}={getattr(self, name)} must be a power of two")
-        if self.address_bits <= self.page_offset_bits:
+        page_offset_bits = _log2(self.page_bytes)
+        if self.address_bits <= page_offset_bits:
             raise ValueError("address space must be larger than one page")
         if self.line_bytes > self.page_bytes:
             raise ValueError("cache lines cannot exceed the page size")
@@ -106,73 +132,58 @@ class AddressLayout:
         if self.l1_capacity_bytes % (self.line_bytes * self.l1_associativity * self.l1_banks):
             raise ValueError("L1 capacity must divide evenly into banks, sets and ways")
 
-    # ------------------------------------------------------------------
-    # Derived widths
-    # ------------------------------------------------------------------
-    @property
-    def page_offset_bits(self) -> int:
-        """Number of bits addressing a byte within a page (12 for 4 KByte)."""
-        return _log2(self.page_bytes)
+        # ------------------------------------------------------------------
+        # Derived widths, masks and caches.  The dataclass is frozen, so the
+        # geometry can never change after construction; precomputing every
+        # shift/mask here keeps the per-access field extractors branch-free.
+        # (`object.__setattr__` is required because the instance is frozen.)
+        # ------------------------------------------------------------------
+        store = lambda name, value: object.__setattr__(self, name, value)  # noqa: E731
+        store("page_offset_bits", page_offset_bits)
+        store("page_id_bits", self.address_bits - page_offset_bits)
+        store("line_offset_bits", _log2(self.line_bytes))
+        store("lines_per_page", self.page_bytes // self.line_bytes)
+        store("line_in_page_bits", _log2(self.lines_per_page))
+        store("subblocks_per_line", self.line_bytes // self.subblock_bytes)
+        store("l1_total_lines", self.l1_capacity_bytes // self.line_bytes)
+        store("l1_total_sets", self.l1_total_lines // self.l1_associativity)
+        store("l1_sets_per_bank", self.l1_total_sets // self.l1_banks)
+        store("bank_bits", _log2(self.l1_banks))
+        store("set_bits", _log2(self.l1_sets_per_bank))
+        store(
+            "tag_bits",
+            self.address_bits - self.line_offset_bits - self.bank_bits - self.set_bits,
+        )
+        store("max_address", (1 << self.address_bits) - 1)
+        store(
+            "arbitration_comparator_bits",
+            self.address_bits - self.page_id_bits - self.line_offset_bits,
+        )
+        store("_page_offset_mask", self.page_bytes - 1)
+        store("_line_offset_mask", self.line_bytes - 1)
+        store("_line_in_page_mask", self.lines_per_page - 1)
+        store("_bank_mask", self.l1_banks - 1)
+        store("_set_mask", self.l1_sets_per_bank - 1)
+        store("_set_shift", self.line_offset_bits + self.bank_bits)
+        store("_tag_shift", self.line_offset_bits + self.bank_bits + self.set_bits)
+        store("_subblock_shift", _log2(self.subblock_bytes))
+        store("_decompose_cache", {})
 
-    @property
-    def page_id_bits(self) -> int:
-        """Width of a page identifier (20 for 32-bit addresses, 4 KByte pages)."""
-        return self.address_bits - self.page_offset_bits
+    #: soft cap on the decomposition memo; long-lived processes sweeping many
+    #: traces through one shared layout reset the cache instead of growing it
+    #: without bound (a reset only costs re-decomposition, never correctness).
+    #: 2^18 entries keep worst-case retention in the tens of MB while still
+    #: covering every trace footprint the repository generates.
+    _DECOMPOSE_CACHE_LIMIT = 1 << 18
 
-    @property
-    def line_offset_bits(self) -> int:
-        """Number of bits addressing a byte within a cache line (6)."""
-        return _log2(self.line_bytes)
+    def __getstate__(self) -> dict:
+        """Pickle without the decomposition memo (workers rebuild their own)."""
+        state = dict(self.__dict__)
+        state["_decompose_cache"] = {}
+        return state
 
-    @property
-    def lines_per_page(self) -> int:
-        """Cache lines per page (64 for 4 KByte pages, 64-byte lines)."""
-        return self.page_bytes // self.line_bytes
-
-    @property
-    def line_in_page_bits(self) -> int:
-        """Bits selecting the line within a page (6)."""
-        return _log2(self.lines_per_page)
-
-    @property
-    def subblocks_per_line(self) -> int:
-        """Sub-blocks in one cache line (4 for 64-byte lines, 128-bit blocks)."""
-        return self.line_bytes // self.subblock_bytes
-
-    @property
-    def l1_total_lines(self) -> int:
-        """Total number of lines held by the L1."""
-        return self.l1_capacity_bytes // self.line_bytes
-
-    @property
-    def l1_total_sets(self) -> int:
-        """Total number of L1 sets across all banks (128 in the paper)."""
-        return self.l1_total_lines // self.l1_associativity
-
-    @property
-    def l1_sets_per_bank(self) -> int:
-        """Sets per bank (32 in the paper)."""
-        return self.l1_total_sets // self.l1_banks
-
-    @property
-    def bank_bits(self) -> int:
-        """Bits selecting the bank from the line address."""
-        return _log2(self.l1_banks)
-
-    @property
-    def set_bits(self) -> int:
-        """Bits selecting the set within a bank."""
-        return _log2(self.l1_sets_per_bank)
-
-    @property
-    def tag_bits(self) -> int:
-        """Width of an L1 tag."""
-        return self.address_bits - self.line_offset_bits - self.bank_bits - self.set_bits
-
-    @property
-    def max_address(self) -> int:
-        """Largest representable address."""
-        return (1 << self.address_bits) - 1
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Field extraction
@@ -187,47 +198,94 @@ class AddressLayout:
 
     def page_id(self, address: int) -> int:
         """Page identifier (virtual or physical, depending on the address)."""
-        return self.check(address) >> self.page_offset_bits
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address >> self.page_offset_bits
 
     def page_offset(self, address: int) -> int:
         """Byte offset within the page."""
-        return self.check(address) & (self.page_bytes - 1)
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address & self._page_offset_mask
 
     def page_base(self, address: int) -> int:
         """Address of the first byte of the containing page."""
-        return align_down(self.check(address), self.page_bytes)
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address & ~self._page_offset_mask
 
     def line_address(self, address: int) -> int:
         """Line-granular address (address with the line offset cleared)."""
-        return align_down(self.check(address), self.line_bytes)
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address & ~self._line_offset_mask
 
     def line_number(self, address: int) -> int:
         """Global line index: address divided by the line size."""
-        return self.check(address) >> self.line_offset_bits
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address >> self.line_offset_bits
 
     def line_offset(self, address: int) -> int:
         """Byte offset within the cache line."""
-        return self.check(address) & (self.line_bytes - 1)
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address & self._line_offset_mask
 
     def line_in_page(self, address: int) -> int:
         """Index of the line inside its page (0..lines_per_page-1)."""
-        return self.line_number(address) & (self.lines_per_page - 1)
+        return self.line_number(address) & self._line_in_page_mask
 
     def subblock_in_line(self, address: int) -> int:
         """Index of the 128-bit sub-block inside the line."""
-        return self.line_offset(address) // self.subblock_bytes
+        return self.line_offset(address) >> self._subblock_shift
 
     def bank_index(self, address: int) -> int:
         """L1 bank servicing this address (line-interleaved)."""
-        return self.line_number(address) & (self.l1_banks - 1)
+        return self.line_number(address) & self._bank_mask
 
     def set_index(self, address: int) -> int:
         """Set index within the bank."""
-        return (self.line_number(address) >> self.bank_bits) & (self.l1_sets_per_bank - 1)
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return (address >> self._set_shift) & self._set_mask
 
     def tag(self, address: int) -> int:
         """L1 tag for this address."""
-        return self.line_number(address) >> (self.bank_bits + self.set_bits)
+        if address < 0 or address > self.max_address:
+            self.check(address)
+        return address >> self._tag_shift
+
+    def decompose(self, address: int) -> AddressParts:
+        """Complete field split of ``address``, memoised per layout.
+
+        Every distinct address is decomposed exactly once per layout
+        instance; requests, interfaces and way-determination structures all
+        read the same cached :class:`AddressParts`, and traces can pre-warm
+        the cache (:meth:`repro.workloads.trace.MemoryTrace.precompute_decompositions`)
+        so the simulation itself never decomposes an address it has seen.
+        """
+        cache = self._decompose_cache
+        parts = cache.get(address)
+        if parts is None:
+            if address < 0 or address > self.max_address:
+                self.check(address)
+            if len(cache) >= self._DECOMPOSE_CACHE_LIMIT:
+                cache.clear()
+            line_number = address >> self.line_offset_bits
+            parts = AddressParts(
+                page_id=address >> self.page_offset_bits,
+                page_offset=address & self._page_offset_mask,
+                line_number=line_number,
+                line_in_page=line_number & self._line_in_page_mask,
+                subblock_in_line=(address & self._line_offset_mask)
+                >> self._subblock_shift,
+                bank_index=line_number & self._bank_mask,
+                set_index=(address >> self._set_shift) & self._set_mask,
+                tag=address >> self._tag_shift,
+            )
+            self._decompose_cache[address] = parts
+        return parts
 
     # ------------------------------------------------------------------
     # Field composition
@@ -272,19 +330,6 @@ class AddressLayout:
         if not self.same_line(a, b):
             return False
         return (self.subblock_in_line(a) >> 1) == (self.subblock_in_line(b) >> 1)
-
-    # ------------------------------------------------------------------
-    # Narrow comparator width used by the Arbitration Unit (Sec. IV)
-    # ------------------------------------------------------------------
-    @property
-    def arbitration_comparator_bits(self) -> int:
-        """Width of the narrow same-line comparators in the Arbitration Unit.
-
-        The paper gives ``comparator_bits = address_bits - page_id_bits -
-        line_offset_bits`` because all candidates are already known to share
-        the page id, so only the line-in-page field needs comparing.
-        """
-        return self.address_bits - self.page_id_bits - self.line_offset_bits
 
 
 #: Default geometry used throughout the reproduction (Table II of the paper).

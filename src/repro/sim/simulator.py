@@ -10,6 +10,7 @@ harness needs to regenerate Fig. 4a/4b and the Sec. VI analyses.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
@@ -27,6 +28,17 @@ from repro.stats import StatCounters
 from repro.tlb.tlb import TLBHierarchy
 
 
+def _guarded_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` with the zero-denominator convention.
+
+    Every derived-rate property of :class:`SimulationResult` funnels through
+    this helper so the "0.0 when the denominator never counted" behaviour is
+    applied consistently (an empty trace, a configuration without way
+    determination, a run with no loads, ...).
+    """
+    return numerator / denominator if denominator else 0.0
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one (configuration, trace) simulation."""
@@ -42,27 +54,29 @@ class SimulationResult:
     @property
     def ipc(self) -> float:
         """Committed instructions per cycle."""
-        return self.instructions / self.cycles if self.cycles else 0.0
+        return _guarded_ratio(self.instructions, self.cycles)
 
     @property
     def l1_load_miss_rate(self) -> float:
         """Fraction of L1 load accesses that missed."""
-        loads = self.stats.get("l1.load", 0.0)
-        return self.stats.get("l1.load_miss", 0.0) / loads if loads else 0.0
+        return _guarded_ratio(
+            self.stats.get("l1.load_miss", 0.0), self.stats.get("l1.load", 0.0)
+        )
 
     @property
     def way_coverage(self) -> float:
         """Fraction of MALEC L1 accesses with a known way (0 for baselines)."""
-        lookups = self.stats.get("malec.way_lookup", 0.0)
-        return self.stats.get("malec.way_known", 0.0) / lookups if lookups else 0.0
+        return _guarded_ratio(
+            self.stats.get("malec.way_known", 0.0),
+            self.stats.get("malec.way_lookup", 0.0),
+        )
 
     @property
     def merged_load_fraction(self) -> float:
         """Fraction of loads that shared another load's bank access."""
         merged = self.stats.get("interface.loads_merged", 0.0)
         accesses = self.stats.get("interface.load_accesses", 0.0)
-        total = merged + accesses
-        return merged / total if total else 0.0
+        return _guarded_ratio(merged, merged + accesses)
 
     def normalized_time(self, baseline: "SimulationResult") -> float:
         """Execution time relative to ``baseline`` (Fig. 4a's y-axis)."""
@@ -159,16 +173,36 @@ class Simulator:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must lie in [0, 1)")
         instructions = list(trace)
+        # Warm the layout's memoised address decomposition in one pass so
+        # every address is decomposed exactly once, not once per interface
+        # structure (the layout the interfaces slice with is the config's).
+        warm = getattr(trace, "precompute_decompositions", None)
+        if warm is not None:
+            warm(self.config.cache.layout)
+        else:
+            decompose = self.config.cache.layout.decompose
+            for instruction in instructions:
+                if instruction.address is not None:
+                    decompose(instruction.address)
         warmup_count = int(len(instructions) * warmup_fraction)
         params = self._pipeline_parameters()
-        if warmup_count:
-            warmup_pipeline = OutOfOrderPipeline(
-                self.interface, params=params, stats=self.stats
-            )
-            warmup_pipeline.run(instructions[:warmup_count])
-            self.stats.clear()
-        pipeline = OutOfOrderPipeline(self.interface, params=params, stats=self.stats)
-        outcome = pipeline.run(instructions[warmup_count:])
+        # The cycle loop allocates short-lived objects at a rate that keeps
+        # the cyclic collector busy for nothing (the simulator builds no
+        # reference cycles); pausing it for the run is a pure wall-time win.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            if warmup_count:
+                warmup_pipeline = OutOfOrderPipeline(
+                    self.interface, params=params, stats=self.stats
+                )
+                warmup_pipeline.run(instructions[:warmup_count])
+                self.stats.clear()
+            pipeline = OutOfOrderPipeline(self.interface, params=params, stats=self.stats)
+            outcome = pipeline.run(instructions[warmup_count:])
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         energy = self.accountant.report(self.stats, outcome.cycles)
         return SimulationResult(
             config_name=self.config.name,

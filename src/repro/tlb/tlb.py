@@ -14,7 +14,6 @@ number of full uWT→WT entry transfers) and random for the TLB.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.cache.replacement import make_replacement_policy
@@ -23,25 +22,46 @@ from repro.stats import StatCounters
 from repro.tlb.page_table import PageTable
 
 
-@dataclass
 class TLBEntry:
-    """One translation held by a TLB."""
+    """One translation held by a TLB (slotted: one per TLB slot)."""
 
-    valid: bool = False
-    virtual_page: int = 0
-    physical_page: int = 0
+    __slots__ = ("valid", "virtual_page", "physical_page")
+
+    def __init__(
+        self, valid: bool = False, virtual_page: int = 0, physical_page: int = 0
+    ) -> None:
+        self.valid = valid
+        self.virtual_page = virtual_page
+        self.physical_page = physical_page
 
 
-@dataclass
 class TranslationResult:
     """Outcome of a full address translation through the TLB hierarchy."""
 
-    virtual_page: int
-    physical_page: int
-    physical_address: int
-    utlb_hit: bool
-    tlb_hit: bool
-    latency: int
+    __slots__ = (
+        "virtual_page",
+        "physical_page",
+        "physical_address",
+        "utlb_hit",
+        "tlb_hit",
+        "latency",
+    )
+
+    def __init__(
+        self,
+        virtual_page: int,
+        physical_page: int,
+        physical_address: int,
+        utlb_hit: bool,
+        tlb_hit: bool,
+        latency: int,
+    ) -> None:
+        self.virtual_page = virtual_page
+        self.physical_page = physical_page
+        self.physical_address = physical_address
+        self.utlb_hit = utlb_hit
+        self.tlb_hit = tlb_hit
+        self.latency = latency
 
 
 #: Callback fired when a TLB slot is replaced: (slot_index, old_entry, new_entry)
@@ -77,6 +97,19 @@ class TLB:
         self._by_vpage: Dict[int, int] = {}
         self._by_ppage: Dict[int, int] = {}
         self._eviction_callbacks: List[EvictionCallback] = []
+        # Per-access counters resolved to integer slots once (hot path); the
+        # f-string name construction otherwise runs on every lookup.
+        self._h_lookup = self.stats.handle(f"{name}.lookup")
+        self._h_miss = self.stats.handle(f"{name}.miss")
+        self._h_hit = self.stats.handle(f"{name}.hit")
+        self._h_reverse_lookup = self.stats.handle(f"{name}.reverse_lookup")
+        self._h_reverse_miss = self.stats.handle(f"{name}.reverse_miss")
+        self._h_reverse_hit = self.stats.handle(f"{name}.reverse_hit")
+        self._h_eviction = self.stats.handle(f"{name}.eviction")
+        self._h_fill = self.stats.handle(f"{name}.fill")
+        # Fixed per-lookup counter patterns, flushed with one bump_many call.
+        self._combo_hit = ((self._h_lookup, 1), (self._h_hit, 1))
+        self._combo_miss = ((self._h_lookup, 1), (self._h_miss, 1))
 
     # ------------------------------------------------------------------
     def add_eviction_callback(self, callback: EvictionCallback) -> None:
@@ -96,15 +129,13 @@ class TLB:
         ``count_event`` distinguishes real (energy-consuming) lookups from
         bookkeeping probes issued by the model itself.
         """
-        if count_event:
-            self.stats.add(f"{self.name}.lookup")
         slot = self._by_vpage.get(virtual_page)
         if slot is None:
             if count_event:
-                self.stats.add(f"{self.name}.miss")
+                self.stats.bump_many(self._combo_miss)
             return None
         if count_event:
-            self.stats.add(f"{self.name}.hit")
+            self.stats.bump_many(self._combo_hit)
         self._policy.touch(slot)
         return slot
 
@@ -114,14 +145,14 @@ class TLB:
         Used on cache line fills/evictions, which know only physical tags.
         """
         if count_event:
-            self.stats.add(f"{self.name}.reverse_lookup")
+            self.stats.bump(self._h_reverse_lookup)
         slot = self._by_ppage.get(physical_page)
         if slot is None:
             if count_event:
-                self.stats.add(f"{self.name}.reverse_miss")
+                self.stats.bump(self._h_reverse_miss)
             return None
         if count_event:
-            self.stats.add(f"{self.name}.reverse_hit")
+            self.stats.bump(self._h_reverse_hit)
         return slot
 
     def translation(self, virtual_page: int) -> Optional[int]:
@@ -166,7 +197,7 @@ class TLB:
         old = self._slots[slot]
         new = TLBEntry(valid=True, virtual_page=virtual_page, physical_page=physical_page)
         if old.valid:
-            self.stats.add(f"{self.name}.eviction")
+            self.stats.bump(self._h_eviction)
             self._by_vpage.pop(old.virtual_page, None)
             self._by_ppage.pop(old.physical_page, None)
         for callback in self._eviction_callbacks:
@@ -175,7 +206,7 @@ class TLB:
         self._by_vpage[virtual_page] = slot
         self._by_ppage[physical_page] = slot
         self._policy.touch(slot)
-        self.stats.add(f"{self.name}.fill")
+        self.stats.bump(self._h_fill)
         return slot
 
     def invalidate_all(self) -> None:
@@ -226,6 +257,8 @@ class TLBHierarchy:
             stats=self.stats,
             seed=seed + 1,
         )
+        self._h_walk = self.stats.handle("tlb.walk")
+        self._page_shift = layout.page_offset_bits
 
     def translate(self, virtual_address: int) -> TranslationResult:
         """Translate ``virtual_address``; refills uTLB/TLB as needed.
@@ -234,8 +267,9 @@ class TLBHierarchy:
         the pipelined uTLB access: 0 for a uTLB hit, 1 cycle for a TLB hit,
         ``walk_latency`` cycles for a page walk.
         """
-        vpage = self.layout.page_id(virtual_address)
-        offset = self.layout.page_offset(virtual_address)
+        parts = self.layout.decompose(virtual_address)
+        vpage = parts.page_id
+        offset = parts.page_offset
 
         slot = self.utlb.lookup(vpage)
         if slot is not None:
@@ -243,7 +277,7 @@ class TLBHierarchy:
             return TranslationResult(
                 virtual_page=vpage,
                 physical_page=ppage,
-                physical_address=self.layout.compose(ppage, offset),
+                physical_address=(ppage << self._page_shift) | offset,
                 utlb_hit=True,
                 tlb_hit=True,
                 latency=0,
@@ -256,20 +290,20 @@ class TLBHierarchy:
             return TranslationResult(
                 virtual_page=vpage,
                 physical_page=ppage,
-                physical_address=self.layout.compose(ppage, offset),
+                physical_address=(ppage << self._page_shift) | offset,
                 utlb_hit=False,
                 tlb_hit=True,
                 latency=1,
             )
 
         ppage = self.page_table.translate_page(vpage)
-        self.stats.add("tlb.walk")
+        self.stats.bump(self._h_walk)
         self.tlb.insert(vpage, ppage)
         self.utlb.insert(vpage, ppage)
         return TranslationResult(
             virtual_page=vpage,
             physical_page=ppage,
-            physical_address=self.layout.compose(ppage, offset),
+            physical_address=(ppage << self._page_shift) | offset,
             utlb_hit=False,
             tlb_hit=False,
             latency=self.walk_latency,

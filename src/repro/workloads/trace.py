@@ -69,6 +69,25 @@ class MemoryTrace:
         ]
         return MemoryTrace(name=self.name, instructions=sliced, suite=self.suite, layout=self.layout)
 
+    def precompute_decompositions(self, layout: Optional[AddressLayout] = None) -> int:
+        """Warm ``layout``'s address-decomposition cache for this trace.
+
+        Decomposes the address of every memory reference once through
+        :meth:`repro.memory.address.AddressLayout.decompose` (``layout``
+        defaults to the trace's own).  The simulator calls this before a run
+        so no interface ever decomposes a trace address again — one
+        decomposition per distinct address per layout instead of one per
+        access per structure.  Returns the number of memory references seen.
+        """
+        decompose = (layout if layout is not None else self.layout).decompose
+        count = 0
+        for instruction in self.instructions:
+            address = instruction.address
+            if address is not None:
+                decompose(address)
+                count += 1
+        return count
+
     # ------------------------------------------------------------------
     # On-disk JSONL format (worker/user trace caching)
     # ------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Regenerate ``tests/golden/fig4_mini.json`` from the current code.
+
+Run only when a PR *deliberately* changes simulation behaviour (and say so
+in the PR description) — the golden test exists precisely so performance
+work cannot drift the paper reproduction silently::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.campaign.executor import ParallelExecutor
+from repro.campaign.spec import campaign_preset
+from repro.campaign.store import ResultStore
+
+
+def regenerate(path: Path) -> int:
+    spec = campaign_preset("fig4-mini")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        ParallelExecutor(jobs=1, store=store).run(spec)
+        records = {record["key"]: record for record in store.records()}
+    payload = {
+        "preset": spec.name,
+        "instructions": spec.instructions,
+        "warmup_fraction": spec.warmup_fraction,
+        "seed": spec.seed,
+        "records": records,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return len(records)
+
+
+if __name__ == "__main__":
+    target = Path(__file__).parent / "fig4_mini.json"
+    count = regenerate(target)
+    print(f"wrote {target} ({count} records)")

@@ -1,0 +1,121 @@
+"""Tests for the ``repro bench`` perf-regression harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_PREFIX,
+    SCHEMA_VERSION,
+    compare_reports,
+    detect_revision,
+    format_report,
+    run_benchmarks,
+    write_report,
+)
+from repro.cli import main
+
+EXPECTED_SCENARIOS = {
+    "trace_generation",
+    "single_config_run",
+    "fig4_mini_sweep",
+    "figure4_gzip_djpeg_mcf",
+}
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> dict:
+    """One shared --quick run (the scenarios still simulate real cells)."""
+    return run_benchmarks(quick=True, label="test")
+
+
+class TestRunBenchmarks:
+    def test_report_shape(self, quick_report):
+        assert quick_report["schema"] == SCHEMA_VERSION
+        assert quick_report["label"] == "test"
+        assert set(quick_report["scenarios"]) == EXPECTED_SCENARIOS
+        assert quick_report["params"]["quick"] is True
+        assert quick_report["params"]["repeats"] == 1
+
+    def test_scenarios_record_timings_and_details(self, quick_report):
+        for name, scenario in quick_report["scenarios"].items():
+            assert scenario["seconds"] > 0.0, name
+            assert scenario["runs"] and min(scenario["runs"]) == scenario["seconds"]
+        sweep = quick_report["scenarios"]["fig4_mini_sweep"]
+        assert sweep["cells"] == 15  # 5 Fig. 4 configurations x 3 benchmarks
+        single = quick_report["scenarios"]["single_config_run"]
+        assert single["cycles"] > 0
+        assert quick_report["total_seconds"] == pytest.approx(
+            sum(s["seconds"] for s in quick_report["scenarios"].values())
+        )
+
+    def test_quick_caps_workload_sizes(self, quick_report):
+        assert quick_report["params"]["instructions"] <= 600
+        assert quick_report["params"]["sweep_instructions"] <= 400
+
+    def test_detect_revision_returns_string(self):
+        assert isinstance(detect_revision(), str) and detect_revision()
+
+
+class TestReportFiles:
+    def test_write_report_creates_bench_file(self, quick_report, tmp_path):
+        path = write_report(quick_report, tmp_path)
+        assert path.name == f"{BENCH_PREFIX}test.json"
+        loaded = json.loads(path.read_text())
+        assert loaded == quick_report
+
+    def test_write_report_sanitises_label(self, quick_report, tmp_path):
+        report = dict(quick_report, label="feat/odd label!")
+        path = write_report(report, tmp_path)
+        assert path.name == f"{BENCH_PREFIX}feat-odd-label-.json"
+
+    def test_format_report_lists_all_scenarios(self, quick_report):
+        text = format_report(quick_report)
+        for name in EXPECTED_SCENARIOS:
+            assert name in text
+        assert "total" in text
+
+    def test_compare_reports_prints_speedups(self, quick_report):
+        before = json.loads(json.dumps(quick_report))
+        before["label"] = "before"
+        for scenario in before["scenarios"].values():
+            scenario["seconds"] = scenario["seconds"] * 2.0
+        text = compare_reports(before, quick_report)
+        assert "2.0" in text and "before" in text
+
+    def test_compare_reports_skips_unknown_scenarios(self, quick_report):
+        text = compare_reports({"label": "b", "scenarios": {}}, quick_report)
+        assert text.splitlines() == [f"speedup b -> {quick_report['label']}"]
+
+
+class TestBenchCli:
+    def test_cli_quick_no_write(self, capsys):
+        assert main(["bench", "--quick", "--no-write"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4_mini_sweep" in out
+        assert "wrote" not in out
+
+    def test_cli_writes_and_compares(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--label", "a", "--out", str(tmp_path)]) == 0
+        first = tmp_path / f"{BENCH_PREFIX}a.json"
+        assert first.exists()
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--label",
+                    "b",
+                    "--out",
+                    str(tmp_path),
+                    "--compare",
+                    str(first),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup a -> b" in out
+        assert (tmp_path / f"{BENCH_PREFIX}b.json").exists()

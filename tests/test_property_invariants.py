@@ -1,0 +1,210 @@
+"""Property-based invariants for the cache, TLB and way-determination logic.
+
+The properties are the structural guarantees the paper's Sec. IV/V argument
+rests on:
+
+* a set-associative lookup immediately after an insert always hits, in the
+  way the insert reported;
+* true-LRU replacement never victimises the most-recently-used way;
+* way-table predictions are *valid-or-unknown* — a known way always matches
+  the tag array (this is what makes tag-bypassed "reduced" accesses safe);
+* a TLB lookup after an insert hits, and the reverse (physical) index stays
+  consistent with the forward one.
+
+Each invariant is written as a plain checker driven by ``hypothesis`` when
+it is installed, and by a seeded ``random`` sweep otherwise, so the suite
+keeps its property coverage on minimal environments.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.replacement import LRUReplacement
+from repro.cache.set_assoc import SetAssociativeArray
+from repro.memory.address import AddressLayout
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.core.way_table import WayTableHierarchy
+from repro.stats import StatCounters
+from repro.tlb.tlb import TLBHierarchy
+
+try:  # pragma: no cover - which branch runs depends on the environment
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+#: cases per property in the stdlib-random fallback sweep
+FALLBACK_CASES = 25
+
+
+def fallback_seeds():
+    """Deterministic seeds for the no-hypothesis sweep."""
+    return pytest.mark.parametrize("seed", range(FALLBACK_CASES))
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers (shared by both drivers)
+# ----------------------------------------------------------------------
+def check_lookup_after_insert_hits(num_sets: int, ways: int, seed: int) -> None:
+    """Filling a tag and looking it up immediately must hit in that way."""
+    rng = random.Random(seed)
+    array = SetAssociativeArray(num_sets=num_sets, ways=ways, seed=seed)
+    for _ in range(4 * num_sets * ways):
+        set_index = rng.randrange(num_sets)
+        tag = rng.randrange(8 * ways)
+        way, _ = array.fill(set_index, tag)
+        result = array.lookup(set_index, tag, update_replacement=False)
+        assert result.hit, (set_index, tag)
+        assert result.way == way
+        assert array.line(set_index, way).tag == tag
+        assert tag in array.valid_tags(set_index)
+
+
+def check_lru_never_evicts_mru(ways: int, seed: int) -> None:
+    """With every way valid, the LRU victim is never the last-touched way."""
+    rng = random.Random(seed)
+    policy = LRUReplacement(ways)
+    all_valid = [True] * ways
+    last_touched = None
+    for _ in range(8 * ways):
+        way = rng.randrange(ways)
+        policy.touch(way)
+        last_touched = way
+        victim = policy.victim(all_valid)
+        assert victim != last_touched or ways == 1
+        # The victim stays stable until someone touches it.
+        assert policy.victim(all_valid) == victim
+
+
+def check_way_predictions_match_tag_array(accesses: int, seed: int) -> None:
+    """A *known* way-table prediction always matches the cache's tag array.
+
+    This is the safety property behind reduced (tag-bypassed) accesses: the
+    paper's way tables are "valid-or-unknown", never wrong (Sec. V).
+    """
+    rng = random.Random(seed)
+    stats = StatCounters()
+    layout = AddressLayout()
+    hierarchy = MemoryHierarchy(layout=layout, stats=stats, seed=seed)
+    translation = TLBHierarchy(layout=layout, stats=stats, seed=seed)
+    way_tables = WayTableHierarchy(translation, layout=layout, stats=stats)
+    way_tables.attach_to_cache(hierarchy.l1)
+
+    pages = [rng.randrange(1 << 10) for _ in range(6)]
+    for _ in range(accesses):
+        virtual = layout.compose_line(
+            rng.choice(pages),
+            rng.randrange(layout.lines_per_page),
+            rng.randrange(0, layout.line_bytes, 4),
+        )
+        result = translation.translate(virtual)
+        line_in_page = layout.line_in_page(virtual)
+        prediction = way_tables.predict_line(result.virtual_page, line_in_page)
+        physical_line = layout.line_address(result.physical_address)
+        if prediction.known:
+            assert hierarchy.l1.way_of(physical_line) == prediction.way, (
+                hex(virtual),
+                prediction.way,
+            )
+        # Access (and possibly fill) the line, mutating cache + way tables.
+        hierarchy.l1.load(result.physical_address)
+
+
+def check_tlb_insert_lookup_consistency(entries: int, seed: int) -> None:
+    """Lookups after inserts hit, and the reverse index mirrors the forward."""
+    rng = random.Random(seed)
+    stats = StatCounters()
+    translation = TLBHierarchy(
+        utlb_entries=max(2, entries // 4),
+        tlb_entries=entries,
+        stats=stats,
+        seed=seed,
+    )
+    tlb = translation.tlb
+    for _ in range(6 * entries):
+        vpage = rng.randrange(1 << 12)
+        ppage = translation.page_table.translate_page(vpage)
+        slot = tlb.insert(vpage, ppage)
+        assert tlb.lookup(vpage, count_event=False) == slot
+        assert tlb.slot(slot).physical_page == ppage
+        assert tlb.reverse_lookup(ppage, count_event=False) == slot
+        assert tlb.occupancy <= entries
+    # Every resident virtual page must be reachable both ways.
+    for vpage in tlb.resident_virtual_pages():
+        slot = tlb.lookup(vpage, count_event=False)
+        assert slot is not None
+        assert tlb.reverse_lookup(tlb.slot(slot).physical_page, count_event=False) == slot
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+
+    COMMON = dict(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+
+    class TestPropertiesHypothesis:
+        @given(
+            num_sets=st.integers(min_value=1, max_value=32),
+            ways=st.integers(min_value=1, max_value=8),
+            seed=st.integers(min_value=0, max_value=2**20),
+        )
+        @settings(**COMMON)
+        def test_lookup_after_insert_hits(self, num_sets, ways, seed):
+            check_lookup_after_insert_hits(num_sets, ways, seed)
+
+        @given(
+            ways=st.integers(min_value=1, max_value=16),
+            seed=st.integers(min_value=0, max_value=2**20),
+        )
+        @settings(**COMMON)
+        def test_lru_never_evicts_mru(self, ways, seed):
+            check_lru_never_evicts_mru(ways, seed)
+
+        @given(seed=st.integers(min_value=0, max_value=2**20))
+        @settings(deadline=None, max_examples=10)
+        def test_way_predictions_match_tag_array(self, seed):
+            check_way_predictions_match_tag_array(accesses=120, seed=seed)
+
+        @given(
+            entries=st.integers(min_value=2, max_value=64),
+            seed=st.integers(min_value=0, max_value=2**20),
+        )
+        @settings(**COMMON)
+        def test_tlb_insert_lookup_consistency(self, entries, seed):
+            check_tlb_insert_lookup_consistency(entries, seed)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    class TestPropertiesFallback:
+        @fallback_seeds()
+        def test_lookup_after_insert_hits(self, seed):
+            rng = random.Random(1000 + seed)
+            check_lookup_after_insert_hits(
+                num_sets=rng.randrange(1, 33), ways=rng.randrange(1, 9), seed=seed
+            )
+
+        @fallback_seeds()
+        def test_lru_never_evicts_mru(self, seed):
+            rng = random.Random(2000 + seed)
+            check_lru_never_evicts_mru(ways=rng.randrange(1, 17), seed=seed)
+
+        @pytest.mark.parametrize("seed", range(8))
+        def test_way_predictions_match_tag_array(self, seed):
+            check_way_predictions_match_tag_array(accesses=120, seed=seed)
+
+        @fallback_seeds()
+        def test_tlb_insert_lookup_consistency(self, seed):
+            rng = random.Random(3000 + seed)
+            check_tlb_insert_lookup_consistency(
+                entries=rng.randrange(2, 65), seed=seed
+            )

@@ -274,3 +274,22 @@ class TestLocalityAnalyzer:
         distribution = analyzer.run_length_distribution(addresses, 1)
         assert sum(distribution.values()) == pytest.approx(1.0)
         assert all(0 <= value <= 1 for value in distribution.values())
+
+
+class TestPrecomputeDecompositions:
+    def test_warms_layout_cache_and_counts_memory_refs(self):
+        from repro.memory.address import AddressLayout
+
+        layout = AddressLayout()
+        trace = generate_trace(benchmark_profile("gzip"), instructions=400)
+        count = trace.precompute_decompositions(layout)
+        assert count == len(trace.memory_references)
+        # Every memory address decomposes straight out of the cache now.
+        for instruction in trace.memory_references[:20]:
+            parts = layout.decompose(instruction.address)
+            assert parts.page_id == layout.page_id(instruction.address)
+            assert parts.bank_index == layout.bank_index(instruction.address)
+
+    def test_defaults_to_own_layout(self):
+        trace = generate_trace(benchmark_profile("gzip"), instructions=200)
+        assert trace.precompute_decompositions() == len(trace.memory_references)
