@@ -152,13 +152,14 @@ class ExperimentRunner:
     def run(
         self,
         configurations: Sequence[SimulationConfig],
-        jobs: int = 1,
+        jobs: Optional[int] = None,
         store=None,
         progress=None,
     ) -> ExperimentResults:
         """Run every configuration over every selected benchmark.
 
-        ``jobs`` fans the sweep out over that many worker processes;
+        ``jobs`` fans the sweep out over that many worker processes (the
+        default uses one worker per CPU core);
         ``store`` (a :class:`~repro.campaign.store.ResultStore`) persists
         every cell and lets a repeated run resume instead of recompute;
         ``progress`` is forwarded to the executor (see

@@ -145,7 +145,36 @@ def bench_single_config_run(
 
 
 def bench_fig4_mini_sweep(instructions: int, repeats: int) -> ScenarioResult:
-    """Time the ``fig4-mini`` preset through the serial campaign executor."""
+    """Time the ``fig4-mini`` preset through the campaign engine.
+
+    Runs with the engine's default parallelism (one worker per core; on a
+    single-core host this is the serial path), i.e. exactly what
+    ``repro sweep fig4-mini`` costs a user.
+    """
+    spec = campaign_preset("fig4-mini").with_overrides(instructions=instructions)
+
+    def workload() -> Dict[str, object]:
+        executor = ParallelExecutor()
+        results = executor.run(spec)
+        return {
+            "preset": "fig4-mini",
+            "instructions": instructions,
+            "cells": len(spec.cells()),
+            "benchmarks": len(results.runs),
+            "jobs": executor.jobs,
+            "used_pool": executor.used_pool,
+        }
+
+    runs, details = _time_repeats(repeats, workload)
+    return ScenarioResult(name="fig4_mini_sweep", runs=runs, details=details)
+
+
+def bench_fig4_mini_sweep_serial(instructions: int, repeats: int) -> ScenarioResult:
+    """Time the ``fig4-mini`` preset through the *serial* executor path.
+
+    The single-process signal: tracks the simulator hot path itself without
+    pool scheduling, regardless of the host's core count.
+    """
     spec = campaign_preset("fig4-mini").with_overrides(instructions=instructions)
 
     def workload() -> Dict[str, object]:
@@ -159,7 +188,7 @@ def bench_fig4_mini_sweep(instructions: int, repeats: int) -> ScenarioResult:
         }
 
     runs, details = _time_repeats(repeats, workload)
-    return ScenarioResult(name="fig4_mini_sweep", runs=runs, details=details)
+    return ScenarioResult(name="fig4_mini_sweep_serial", runs=runs, details=details)
 
 
 def bench_figure4_acceptance(instructions: int, repeats: int) -> ScenarioResult:
@@ -172,7 +201,7 @@ def bench_figure4_acceptance(instructions: int, repeats: int) -> ScenarioResult:
         runner = ExperimentRunner(
             instructions=instructions, benchmarks=benchmarks, warmup_fraction=0.3
         )
-        results = runner.run(SimulationConfig.figure4_suite(), jobs=1)
+        results = runner.run(SimulationConfig.figure4_suite())
         return {
             "benchmarks": list(benchmarks),
             "instructions": instructions,
@@ -225,6 +254,7 @@ def run_benchmarks(
         bench_trace_generation(instructions, repeats),
         bench_single_config_run(instructions, repeats),
         bench_fig4_mini_sweep(sweep_instructions, repeats),
+        bench_fig4_mini_sweep_serial(sweep_instructions, repeats),
         bench_figure4_acceptance(instructions, repeats),
     ]
     return {
@@ -245,14 +275,39 @@ def run_benchmarks(
     }
 
 
-def write_report(report: dict, out_dir: Union[str, Path]) -> Path:
-    """Write ``report`` as ``BENCH_<label>.json`` under ``out_dir``."""
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    safe_label = "".join(
-        ch if (ch.isalnum() or ch in "-_.") else "-" for ch in str(report["label"])
-    )
-    path = out / f"{BENCH_PREFIX}{safe_label}.json"
+def default_output_dir() -> Path:
+    """The standard location for bench records: ``benchmarks/perf`` at the
+    repository root.
+
+    Resolved from this module's location so results land in the repository
+    regardless of the current working directory (a cwd-relative default is
+    easy to lose); falls back to a cwd-relative path for installed copies
+    that have no repository checkout around them.
+    """
+    root = Path(__file__).resolve().parents[2]
+    candidate = root / "benchmarks" / "perf"
+    if (root / "benchmarks").is_dir() or (root / ".git").exists():
+        return candidate
+    return Path("benchmarks") / "perf"
+
+
+def write_report(
+    report: dict, out_dir: Union[str, Path], out_file: Optional[Union[str, Path]] = None
+) -> Path:
+    """Write ``report`` as ``BENCH_<label>.json`` under ``out_dir``.
+
+    ``out_file`` overrides the full output path (the ``--output`` flag).
+    """
+    if out_file is not None:
+        path = Path(out_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        safe_label = "".join(
+            ch if (ch.isalnum() or ch in "-_.") else "-" for ch in str(report["label"])
+        )
+        path = out / f"{BENCH_PREFIX}{safe_label}.json"
     path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
     return path
 
@@ -278,14 +333,68 @@ def compare_reports(before: dict, after: dict) -> str:
             continue
         ratio = reference["seconds"] / scenario["seconds"]
         lines.append(
-            f"  {name:<20s} {reference['seconds'] * 1000.0:>10.1f} ms -> "
+            f"  {name:<24s} {reference['seconds'] * 1000.0:>10.1f} ms -> "
             f"{scenario['seconds'] * 1000.0:>10.1f} ms   ({ratio:.2f}x)"
         )
     return "\n".join(lines)
 
 
+def find_regressions(before: dict, after: dict, threshold_pct: float) -> List[str]:
+    """Scenarios of ``after`` slower than ``before`` by more than the threshold.
+
+    Only scenarios present in both reports are considered (a renamed or new
+    scenario has no baseline to regress against).
+    """
+    regressions: List[str] = []
+    for name, scenario in after["scenarios"].items():
+        reference = before["scenarios"].get(name)
+        if reference is None or not reference["seconds"]:
+            continue
+        slowdown_pct = (scenario["seconds"] / reference["seconds"] - 1.0) * 100.0
+        if slowdown_pct > threshold_pct:
+            regressions.append(f"{name}: {slowdown_pct:+.1f}% slower")
+    return regressions
+
+
+def load_report(path: Union[str, Path]) -> dict:
+    """Read a ``BENCH_*.json`` file, validating the schema version."""
+    report = json.loads(Path(path).read_text())
+    if not isinstance(report, dict) or "scenarios" not in report:
+        raise ValueError(f"{path}: not a bench report")
+    return report
+
+
 def main_bench(args) -> int:
-    """Implementation of the ``repro bench`` CLI sub-command."""
+    """Implementation of the ``repro bench`` CLI sub-command.
+
+    ``--compare OLD.json NEW.json`` is the pure comparison mode: nothing is
+    benchmarked, the two reports are compared and the exit status reflects
+    the ``--threshold`` regression gate (the CI bench-regression job).  With
+    a single file, the benchmarks run first and the fresh report is compared
+    against the file; the gate then only applies when ``--threshold`` was
+    given explicitly (a gate on a live run is an opt-in, since two runs on a
+    shared machine are noisier than two committed records).
+    """
+    compare = args.compare or []
+    threshold = args.threshold
+    if len(compare) > 2:
+        print("--compare takes at most two files (OLD.json NEW.json)")
+        return 2
+
+    if len(compare) == 2:
+        before = load_report(compare[0])
+        after = load_report(compare[1])
+        print(compare_reports(before, after))
+        regressions = find_regressions(
+            before, after, threshold if threshold is not None else 20.0
+        )
+        if regressions:
+            print("regression beyond threshold:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        return 0
+
     report = run_benchmarks(
         instructions=args.instructions,
         sweep_instructions=args.sweep_instructions,
@@ -295,9 +404,17 @@ def main_bench(args) -> int:
     )
     print(format_report(report))
     if not args.no_write:
-        path = write_report(report, args.out)
+        out_dir = args.out if args.out is not None else default_output_dir()
+        path = write_report(report, out_dir, out_file=args.output)
         print(f"wrote {path}")
-    if args.compare is not None:
-        before = json.loads(Path(args.compare).read_text())
+    if compare:
+        before = load_report(compare[0])
         print(compare_reports(before, report))
+        if threshold is not None:
+            regressions = find_regressions(before, report, threshold)
+            if regressions:
+                print("regression beyond threshold:")
+                for line in regressions:
+                    print(f"  {line}")
+                return 1
     return 0

@@ -78,6 +78,30 @@ class LoadQueue:
         self.stats.bump(self._h_allocate)
         return entry
 
+    def allocate_issued(
+        self, tag: Any, virtual_address: int, cycle: int, count: bool = True
+    ) -> None:
+        """Fused :meth:`allocate` + :meth:`mark_issued` for the hot path.
+
+        The interfaces submit a load the cycle its address computation
+        finishes, so dispatch and issue coincide; fusing both saves a dict
+        probe and a call per load while bumping the same counters.
+        ``count=False`` leaves the ``lq.allocate`` charge to the caller (the
+        interfaces fold it into one fused submission bump).
+        """
+        if len(self._entries) >= self.entries:
+            raise RuntimeError("load queue overflow")
+        if tag in self._entries:
+            raise ValueError(f"load {tag!r} already present in the load queue")
+        self._entries[tag] = LoadQueueEntry(
+            tag=tag,
+            virtual_address=virtual_address,
+            dispatch_cycle=cycle,
+            issue_cycle=cycle,
+        )
+        if count:
+            self.stats.bump(self._h_allocate)
+
     def mark_issued(self, tag: Any, cycle: int) -> None:
         """Record the cycle in which the load was sent to the L1 interface."""
         self._entries[tag].issue_cycle = cycle
@@ -86,8 +110,24 @@ class LoadQueue:
         """Record the cycle in which the load's data returned."""
         entry = self._entries[tag]
         entry.complete_cycle = cycle
-        if entry.latency is not None:
-            self.stats.bump(self._h_total_latency, entry.latency)
+        issue_cycle = entry.issue_cycle
+        if issue_cycle is not None:
+            self.stats.bump(self._h_total_latency, cycle - issue_cycle)
+            self.stats.bump(self._h_completed)
+
+    def complete_release(self, tag: Any, cycle: int) -> None:
+        """Fused :meth:`mark_complete` + :meth:`release` for the hot path.
+
+        Like :meth:`mark_complete`, an unknown tag raises ``KeyError`` — a
+        completion for a load that was never allocated (or was already
+        released) is a scheduler defect that must surface immediately, not
+        drift the statistics.
+        """
+        entry = self._entries.pop(tag)
+        entry.complete_cycle = cycle
+        issue_cycle = entry.issue_cycle
+        if issue_cycle is not None:
+            self.stats.bump(self._h_total_latency, cycle - issue_cycle)
             self.stats.bump(self._h_completed)
 
     def release(self, tag: Any) -> None:

@@ -225,29 +225,48 @@ class CacheBank:
         assumption that doubles merge opportunities); it only affects event
         accounting, not hit/miss behaviour.
         """
-        stats = self.stats
         parts = self.layout.decompose(physical_address)
         if parts.bank_index != self.bank_index:
             self._check_bank(physical_address)
-        set_index = parts.set_index
-        tag = parts.tag
+        hit, way, reduced, hint_wrong = self.read_parts(
+            parts.set_index, parts.tag, way_hint, paired_subblock
+        )
+        return BankAccessResult(
+            hit=hit, way=way, reduced=reduced, way_hint_wrong=hint_wrong
+        )
 
+    def read_parts(
+        self,
+        set_index: int,
+        tag: int,
+        way_hint: Optional[int],
+        paired_subblock: bool = True,
+    ):
+        """Allocation-free core of :meth:`read` for pre-decomposed callers.
+
+        Returns ``(hit, way, reduced, way_hint_wrong)``.
+        """
+        stats = self.stats
         if way_hint is not None:
             # Reduced access: tag arrays bypassed, single data array read.
-            line = self.array.line(set_index, way_hint)
+            # (Direct set access: way hints come from way tables/WDU and are
+            # in range by construction; the set exists because a hint implies
+            # an earlier fill touched it.)
+            line = self.array._lines(set_index)[way_hint]
             stats.bump_many(self._combo_reduced_read)
             if paired_subblock:
                 stats.bump(self._h_subblock_pair_read)
             if line.valid and line.tag == tag:
                 self.array.find_way(set_index, tag)  # refresh replacement state
-                return BankAccessResult(hit=True, way=way_hint, reduced=True)
+                return True, way_hint, True, False
             # A wrong hint requires a second, conventional access; way tables
             # never produce this (validity is tracked), but WDU-style
             # predictors might.
             stats.bump(self._h_way_hint_wrong)
-            result = self.read(physical_address, way_hint=None, paired_subblock=paired_subblock)
-            result.way_hint_wrong = True
-            return result
+            hit, way, reduced, _ = self.read_parts(
+                set_index, tag, None, paired_subblock
+            )
+            return hit, way, reduced, True
 
         # Conventional access: all tag arrays and all data arrays probed.
         stats.bump_many(self._combo_conv_read)
@@ -255,8 +274,8 @@ class CacheBank:
             stats.bump(self._h_subblock_pair_read)
         way = self.array.find_way(set_index, tag)
         if way is not None:
-            return BankAccessResult(hit=True, way=way, reduced=False)
-        return BankAccessResult(hit=False, way=None, reduced=False)
+            return True, way, False, False
+        return False, None, False, False
 
     def write(self, physical_address: int, way_hint: Optional[int] = None) -> BankAccessResult:
         """Service a store (or merge-buffer eviction) that writes the cache.
@@ -265,22 +284,27 @@ class CacheBank:
         hint the tag arrays are probed first, with a valid hint the probe is
         skipped (reduced store).
         """
-        stats = self.stats
         parts = self.layout.decompose(physical_address)
         if parts.bank_index != self.bank_index:
             self._check_bank(physical_address)
-        set_index = parts.set_index
-        tag = parts.tag
+        hit, way, reduced = self.write_parts(parts.set_index, parts.tag, way_hint)
+        return BankAccessResult(hit=hit, way=way, reduced=reduced)
 
+    def write_parts(self, set_index: int, tag: int, way_hint: Optional[int]):
+        """Allocation-free core of :meth:`write` for pre-decomposed callers.
+
+        Returns ``(hit, way, reduced)``.
+        """
+        stats = self.stats
         if way_hint is not None:
-            line = self.array.line(set_index, way_hint)
+            line = self.array._lines(set_index)[way_hint]
             if line.valid and line.tag == tag:
                 stats.bump(self._h_ctrl)
                 stats.bump(self._h_data_write, 1)
                 stats.bump(self._h_reduced_access)
                 self.array.mark_dirty(set_index, way_hint)
                 self.array.find_way(set_index, tag)
-                return BankAccessResult(hit=True, way=way_hint, reduced=True)
+                return True, way_hint, True
             stats.bump(self._h_way_hint_wrong)
 
         stats.bump_many(self._combo_conv_write)
@@ -288,27 +312,33 @@ class CacheBank:
         if way is not None:
             stats.bump(self._h_data_write, 1)
             self.array.mark_dirty(set_index, way)
-            return BankAccessResult(hit=True, way=way, reduced=False)
-        return BankAccessResult(hit=False, way=None, reduced=False)
+            return True, way, False
+        return False, None, False
 
     def fill(self, physical_address: int, dirty: bool = False) -> BankAccessResult:
         """Install the line containing ``physical_address`` after a miss."""
         parts = self.layout.decompose(physical_address)
         if parts.bank_index != self.bank_index:
             self._check_bank(physical_address)
-        set_index = parts.set_index
-        tag = parts.tag
-        excluded = self.excluded_way_for(physical_address)
+        way, evicted_address, evicted_dirty = self.fill_parts(
+            physical_address, parts.set_index, parts.tag, dirty
+        )
+        return BankAccessResult(
+            hit=True,
+            way=way,
+            reduced=False,
+            evicted_line_address=evicted_address,
+            evicted_dirty=evicted_dirty,
+        )
 
+    def fill_parts(self, physical_address: int, set_index: int, tag: int, dirty: bool):
+        """Allocation-free core of :meth:`fill` for pre-decomposed callers.
+
+        Returns ``(way, evicted_line_address, evicted_dirty)``.
+        """
+        excluded = self.excluded_way_for(physical_address)
         evicted_address: Optional[int] = None
         evicted_dirty = False
-        existing = self.array.lookup(set_index, tag, update_replacement=False)
-        if not existing.hit:
-            # Identify the would-be victim for reporting before the fill fires
-            # the eviction callback.
-            valid_mask = self.array.valid_mask(set_index)
-            if all(valid_mask):
-                pass  # an eviction will occur; details captured via callback
         way, eviction = self.array.fill(
             set_index, tag, dirty=dirty, excluded_way=excluded
         )
@@ -318,13 +348,7 @@ class CacheBank:
         self.stats.bump_many(self._combo_fill)
         if self._on_fill is not None:
             self._on_fill(self.layout.line_address(physical_address), way)
-        return BankAccessResult(
-            hit=True,
-            way=way,
-            reduced=False,
-            evicted_line_address=evicted_address,
-            evicted_dirty=evicted_dirty,
-        )
+        return way, evicted_address, evicted_dirty
 
     def contains(self, physical_address: int) -> bool:
         """True if the line holding ``physical_address`` is resident."""

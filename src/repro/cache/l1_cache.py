@@ -146,35 +146,48 @@ class L1DataCache:
         allocate_on_miss: bool = True,
     ) -> L1AccessOutcome:
         """Service a load, handling the miss path through L2/DRAM."""
-        bank = self.bank_for(physical_address)
-        result = bank.read(physical_address, way_hint=way_hint)
-        if result.hit:
+        hit, way, latency, reduced, bank_index, hint_wrong = self.load_parts(
+            physical_address, way_hint, allocate_on_miss
+        )
+        return L1AccessOutcome(
+            hit=hit,
+            way=way,
+            latency=latency,
+            reduced=reduced,
+            bank=bank_index,
+            way_hint_wrong=hint_wrong,
+        )
+
+    def load_parts(
+        self,
+        physical_address: int,
+        way_hint: Optional[int] = None,
+        allocate_on_miss: bool = True,
+    ):
+        """Allocation-free core of :meth:`load` for per-access hot paths.
+
+        Returns ``(hit, way, latency, reduced, bank_index, way_hint_wrong)``.
+        """
+        parts = self.layout.decompose(physical_address)
+        bank_index = parts.bank_index
+        bank = self.banks[bank_index]
+        hit, way, reduced, hint_wrong = bank.read_parts(
+            parts.set_index, parts.tag, way_hint
+        )
+        if hit:
             self.stats.bump_many(self._combo_load_hit)
-            return L1AccessOutcome(
-                hit=True,
-                way=result.way,
-                latency=self.hit_latency,
-                reduced=result.reduced,
-                bank=bank.bank_index,
-                way_hint_wrong=result.way_hint_wrong,
-            )
+            return True, way, self.hit_latency, reduced, bank_index, hint_wrong
 
         self.stats.bump_many(self._combo_load_miss)
         miss_latency = self.l2.access(physical_address, is_write=False)
-        way: Optional[int] = None
+        way = None
         if allocate_on_miss:
-            fill = bank.fill(physical_address, dirty=False)
-            way = fill.way
-            if fill.evicted_dirty:
-                self.l2.access(fill.evicted_line_address, is_write=True)
-        return L1AccessOutcome(
-            hit=False,
-            way=way,
-            latency=self.hit_latency + miss_latency,
-            reduced=False,
-            bank=bank.bank_index,
-            way_hint_wrong=result.way_hint_wrong,
-        )
+            way, evicted_address, evicted_dirty = bank.fill_parts(
+                physical_address, parts.set_index, parts.tag, False
+            )
+            if evicted_dirty:
+                self.l2.access(evicted_address, is_write=True)
+        return False, way, self.hit_latency + miss_latency, False, bank_index, hint_wrong
 
     def store(
         self,
@@ -183,36 +196,47 @@ class L1DataCache:
         allocate_on_miss: bool = True,
     ) -> L1AccessOutcome:
         """Service a store (write-allocate, write-back)."""
-        bank = self.bank_for(physical_address)
-        result = bank.write(physical_address, way_hint=way_hint)
-        if result.hit:
+        hit, way, latency, reduced, bank_index = self.store_parts(
+            physical_address, way_hint, allocate_on_miss
+        )
+        return L1AccessOutcome(
+            hit=hit,
+            way=way,
+            latency=latency,
+            reduced=reduced,
+            bank=bank_index,
+            way_hint_wrong=False,
+        )
+
+    def store_parts(
+        self,
+        physical_address: int,
+        way_hint: Optional[int] = None,
+        allocate_on_miss: bool = True,
+    ):
+        """Allocation-free core of :meth:`store` for per-access hot paths.
+
+        Returns ``(hit, way, latency, reduced, bank_index)``.
+        """
+        parts = self.layout.decompose(physical_address)
+        bank_index = parts.bank_index
+        bank = self.banks[bank_index]
+        hit, way, reduced = bank.write_parts(parts.set_index, parts.tag, way_hint)
+        if hit:
             self.stats.bump_many(self._combo_store_hit)
-            return L1AccessOutcome(
-                hit=True,
-                way=result.way,
-                latency=self.hit_latency,
-                reduced=result.reduced,
-                bank=bank.bank_index,
-                way_hint_wrong=result.way_hint_wrong,
-            )
+            return True, way, self.hit_latency, reduced, bank_index
 
         self.stats.bump_many(self._combo_store_miss)
         miss_latency = self.l2.access(physical_address, is_write=False)
-        way: Optional[int] = None
+        way = None
         if allocate_on_miss:
-            fill = bank.fill(physical_address, dirty=True)
-            way = fill.way
+            way, evicted_address, evicted_dirty = bank.fill_parts(
+                physical_address, parts.set_index, parts.tag, True
+            )
             self.stats.bump(self._h_data_write, 1)
-            if fill.evicted_dirty:
-                self.l2.access(fill.evicted_line_address, is_write=True)
-        return L1AccessOutcome(
-            hit=False,
-            way=way,
-            latency=self.hit_latency + miss_latency,
-            reduced=False,
-            bank=bank.bank_index,
-            way_hint_wrong=result.way_hint_wrong,
-        )
+            if evicted_dirty:
+                self.l2.access(evicted_address, is_write=True)
+        return False, way, self.hit_latency + miss_latency, False, bank_index
 
     # ------------------------------------------------------------------
     # Introspection

@@ -48,6 +48,13 @@ class L2Cache:
         self.dram = dram if dram is not None else DRAMModel(layout=layout, stats=self.stats)
         self.num_sets = capacity_bytes // (associativity * layout.line_bytes)
         self.associativity = associativity
+        # Power-of-two set counts (the default geometry) split with masks.
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+            self._set_bits = self.num_sets.bit_length() - 1
+        else:
+            self._set_mask = None
+            self._set_bits = 0
         self.array = SetAssociativeArray(
             num_sets=self.num_sets,
             ways=associativity,
@@ -59,10 +66,15 @@ class L2Cache:
         self._h_hit = self.stats.handle("l2.hit")
         self._h_miss = self.stats.handle("l2.miss")
         self._h_writeback = self.stats.handle("l2.writeback")
+        # Fixed per-access counter patterns, flushed with one bump_many call.
+        self._combo_hit = ((self._h_access, 1), (self._h_hit, 1))
+        self._combo_miss = ((self._h_access, 1), (self._h_miss, 1))
 
     # ------------------------------------------------------------------
     def _set_and_tag(self, physical_address: int) -> tuple[int, int]:
         line = self.layout.line_number(physical_address)
+        if self._set_mask is not None:
+            return line & self._set_mask, line >> self._set_bits
         return line % self.num_sets, line // self.num_sets
 
     def access(self, physical_address: int, is_write: bool = False) -> int:
@@ -73,15 +85,14 @@ class L2Cache:
         critical path).
         """
         set_index, tag = self._set_and_tag(physical_address)
-        self.stats.bump(self._h_access)
         way = self.array.find_way(set_index, tag)
         if way is not None:
-            self.stats.bump(self._h_hit)
+            self.stats.bump_many(self._combo_hit)
             if is_write:
                 self.array.mark_dirty(set_index, way)
             return self.latency_cycles
 
-        self.stats.bump(self._h_miss)
+        self.stats.bump_many(self._combo_miss)
         dram_latency = self.dram.read(physical_address)
         _, eviction = self.array.fill(set_index, tag, dirty=is_write)
         if eviction is not None and eviction.dirty:

@@ -54,6 +54,19 @@ class ReplacementPolicy(ABC):
         if way < 0 or way >= self.ways:
             raise ValueError(f"way {way} outside 0..{self.ways - 1}")
 
+    def victim_full(self) -> int:
+        """Victim when every way is valid and nothing is excluded.
+
+        Semantically identical to ``victim([True] * ways)``; containers that
+        track their valid count call this to skip building the mask (and, in
+        subclasses with a dedicated override, the candidate filtering) on the
+        steady-state fill path.
+        """
+        mask = getattr(self, "_full_mask", None)
+        if mask is None:
+            mask = self._full_mask = [True] * self.ways
+        return self.victim(mask)
+
     def _candidates(
         self, valid_mask: Sequence[bool], excluded_way: Optional[int]
     ) -> List[int]:
@@ -83,17 +96,34 @@ class LRUReplacement(ReplacementPolicy):
             stack.remove(way)
             stack.insert(0, way)
 
+    def victim_full(self) -> int:
+        return self._stack[-1]
+
     def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
+        if len(valid_mask) != self.ways:
+            raise ValueError("valid_mask length must equal the number of ways")
         # Fast path for the overwhelmingly common steady-state case: every
         # way valid and nothing excluded — the victim is simply the LRU way.
-        if excluded_way is None and all(valid_mask):
-            if len(valid_mask) != self.ways:
-                raise ValueError("valid_mask length must equal the number of ways")
-            return self._stack[-1]
-        candidates = set(self._candidates(valid_mask, excluded_way))
-        # Walk from least- to most-recently used and return the first candidate.
+        if excluded_way is None:
+            if all(valid_mask):
+                return self._stack[-1]
+            # Invalid ways are preferred; picking the least-recently-used
+            # invalid way is exactly "first candidate on the reversed stack"
+            # with candidates = the invalid ways — no list/set allocations.
+            for way in reversed(self._stack):
+                if not valid_mask[way]:
+                    return way
+            raise RuntimeError("LRU stack lost track of ways")  # pragma: no cover
+        # Excluded way present: same walk, preferring invalid allowed ways,
+        # falling back to any allowed way (identical to the _candidates()
+        # selection, allocation-free).
+        if self.ways == 1 and excluded_way == 0:
+            raise ValueError("cannot exclude every way of a set")
         for way in reversed(self._stack):
-            if way in candidates:
+            if way != excluded_way and not valid_mask[way]:
+                return way
+        for way in reversed(self._stack):
+            if way != excluded_way:
                 return way
         raise RuntimeError("LRU stack lost track of ways")  # pragma: no cover
 
@@ -148,6 +178,14 @@ class RandomReplacement(ReplacementPolicy):
     def touch(self, way: int) -> None:
         self._check_way(way)
 
+    def victim_full(self) -> int:
+        # choice() over the full way list consumes the RNG exactly as
+        # choice(_candidates(all-valid, None)) would — same list contents.
+        all_ways = getattr(self, "_all_ways", None)
+        if all_ways is None:
+            all_ways = self._all_ways = list(range(self.ways))
+        return self._rng.choice(all_ways)
+
     def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
         return self._rng.choice(self._candidates(valid_mask, excluded_way))
 
@@ -171,6 +209,19 @@ class SecondChanceReplacement(ReplacementPolicy):
         if way < 0 or way >= self.ways:
             self._check_way(way)
         self._referenced[way] = True
+
+    def victim_full(self) -> int:
+        # Every way is a candidate: the clock sweep needs no membership test
+        # and no invalid-way scan (identical selection to victim(all-valid)).
+        referenced = self._referenced
+        for _ in range(2 * self.ways):
+            way = self._hand
+            self._hand = (self._hand + 1) % self.ways
+            if referenced[way]:
+                referenced[way] = False
+                continue
+            return way
+        return self._hand  # pragma: no cover - unreachable, bits were cleared
 
     def victim(self, valid_mask: Sequence[bool], excluded_way: Optional[int] = None) -> int:
         candidates = set(self._candidates(valid_mask, excluded_way))

@@ -112,6 +112,12 @@ class SetAssociativeArray:
         # lazy construction is bit-identical to the eager one.
         self._sets: Dict[int, List[CacheLineState]] = {}
         self._policies: Dict[int, ReplacementPolicy] = {}
+        # Per-set tag -> way index, kept coherent by every mutator; lookups
+        # are a dict probe instead of an O(ways) scan over line objects.
+        # (All line-state mutation flows through fill/mark_dirty/invalidate*,
+        # so the index can never go stale.)  len(tags) doubles as the set's
+        # valid count, so the steady-state fill path skips mask building.
+        self._tags: Dict[int, Dict[int, int]] = {}
         # Validate the policy name eagerly (and keep the error site here):
         make_replacement_policy(replacement, ways, seed=seed)
 
@@ -123,6 +129,7 @@ class SetAssociativeArray:
         lines = self._sets.get(set_index)
         if lines is None:
             lines = self._sets[set_index] = [CacheLineState() for _ in range(self.ways)]
+            self._tags[set_index] = {}
         return lines
 
     def _policy(self, set_index: int) -> ReplacementPolicy:
@@ -144,29 +151,25 @@ class SetAssociativeArray:
     def lookup(self, set_index: int, tag: int, update_replacement: bool = True) -> LookupResult:
         """Search ``set_index`` for ``tag``; optionally record the use."""
         self._check_set(set_index)
-        lines = self._sets.get(set_index)
-        if lines is None:
+        tags = self._tags.get(set_index)
+        way = tags.get(tag) if tags is not None else None
+        if way is None:
             return LookupResult(hit=False)
-        for way, line in enumerate(lines):
-            if line.valid and line.tag == tag:
-                if update_replacement:
-                    self._policy(set_index).touch(way)
-                return LookupResult(hit=True, way=way, line=line)
-        return LookupResult(hit=False)
+        if update_replacement:
+            self._policy(set_index).touch(way)
+        return LookupResult(hit=True, way=way, line=self._sets[set_index][way])
 
     def find_way(self, set_index: int, tag: int, update_replacement: bool = True):
         """Way index holding ``tag`` or ``None`` — :meth:`lookup` without the
         result object, for callers on the per-access hot path."""
         self._check_set(set_index)
-        lines = self._sets.get(set_index)
-        if lines is None:
+        tags = self._tags.get(set_index)
+        way = tags.get(tag) if tags is not None else None
+        if way is None:
             return None
-        for way, line in enumerate(lines):
-            if line.valid and line.tag == tag:
-                if update_replacement:
-                    self._policy(set_index).touch(way)
-                return way
-        return None
+        if update_replacement:
+            self._policy(set_index).touch(way)
+        return way
 
     def probe(self, set_index: int, tag: int) -> LookupResult:
         """Lookup without disturbing replacement state (used by tests/tools)."""
@@ -222,21 +225,27 @@ class SetAssociativeArray:
         fired.
         """
         self._check_set(set_index)
-        existing = self.lookup(set_index, tag, update_replacement=True)
-        if existing.hit:
-            line = existing.line
+        lines = self._lines(set_index)
+        tags = self._tags[set_index]
+        existing_way = tags.get(tag)
+        if existing_way is not None:
+            self._policy(set_index).touch(existing_way)
+            line = lines[existing_way]
             line.payload = payload if payload is not None else line.payload
             line.dirty = line.dirty or dirty
-            return existing.way, None
+            return existing_way, None
 
         policy = self._policy(set_index)
         if preferred_way is not None:
             if preferred_way == excluded_way:
                 raise ValueError("preferred way conflicts with excluded way")
             way = preferred_way
+        elif excluded_way is None and len(tags) == self.ways:
+            # Steady state (every way valid, nothing excluded): skip the mask.
+            way = policy.victim_full()
         else:
-            way = policy.victim(self.valid_mask(set_index), excluded_way=excluded_way)
-        line = self._lines(set_index)[way]
+            way = policy.victim([line.valid for line in lines], excluded_way=excluded_way)
+        line = lines[way]
 
         eviction: Optional[EvictionRecord] = None
         if line.valid:
@@ -247,6 +256,7 @@ class SetAssociativeArray:
                 dirty=line.dirty,
                 payload=line.payload,
             )
+            del tags[line.tag]
             if self.on_evict is not None:
                 self.on_evict(eviction)
 
@@ -254,6 +264,7 @@ class SetAssociativeArray:
         line.tag = tag
         line.dirty = dirty
         line.payload = payload
+        tags[tag] = way
         policy.touch(way)
         return way, eviction
 
@@ -277,6 +288,7 @@ class SetAssociativeArray:
             dirty=line.dirty,
             payload=line.payload,
         )
+        del self._tags[set_index][line.tag]
         line.reset()
         if self.on_evict is not None:
             self.on_evict(record)
@@ -287,3 +299,5 @@ class SetAssociativeArray:
         for ways in self._sets.values():
             for line in ways:
                 line.reset()
+        for tags in self._tags.values():
+            tags.clear()

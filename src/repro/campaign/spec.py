@@ -28,6 +28,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field, fields, is_dataclass, replace
+from functools import lru_cache
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.memory.address import AddressLayout
@@ -109,6 +110,7 @@ class CampaignCell:
         return benchmark_profile(self.benchmark).seed + self.seed
 
 
+@lru_cache(maxsize=16384)
 def cell_key(cell: CampaignCell) -> str:
     """Stable hex digest of (config, benchmark, instructions, warmup, seed).
 
@@ -116,6 +118,9 @@ def cell_key(cell: CampaignCell) -> str:
     so two configurations that differ in any parameter never collide, while
     renaming a configuration without changing parameters *does* change the
     key — the name is part of how results are aggregated.
+
+    Memoised: cells are frozen (hashable) and campaigns ask for the same
+    cell's key several times per run (store probe, record, assembly).
     """
     payload = {
         "benchmark": cell.benchmark,

@@ -25,17 +25,21 @@ directory layout):
 
 ``bench``
     Time the simulator's hot paths (trace generation, one configuration run,
-    the fig4-mini sweep) and write a ``BENCH_<rev>.json`` record so speedups
-    and regressions are comparable across commits (see ``benchmarks/perf/``).
+    the fig4-mini sweeps) and write a ``BENCH_<rev>.json`` record under
+    ``benchmarks/perf`` at the repository root.  ``--compare OLD.json
+    NEW.json [--threshold PCT]`` compares two records without running
+    anything and exits non-zero on regression beyond the threshold (the CI
+    bench-regression gate).
 
 Examples::
 
     python -m repro compare gzip
-    python -m repro figure4 gzip djpeg mcf --instructions 4000 --jobs 4
-    python -m repro sweep fig4 --jobs 4 --out results/fig4
+    python -m repro figure4 gzip djpeg mcf --instructions 4000
+    python -m repro sweep fig4 --out results/fig4
     python -m repro sweep sec6d --jobs 2 --out results/sec6d
     python -m repro locality h263dec swim
     python -m repro bench --quick
+    python -m repro bench --compare BENCH_old.json BENCH_new.json --threshold 20
     python -m repro list
 """
 
@@ -110,8 +114,8 @@ def _build_parser() -> argparse.ArgumentParser:
     figure4.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
-        help="worker processes for the sweep (default: 1 = serial)",
+        default=None,
+        help="worker processes for the sweep (default: one per CPU core)",
     )
 
     sweep = commands.add_parser(
@@ -140,8 +144,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs",
         type=_positive_int,
-        default=1,
-        help="worker processes for the sweep (default: 1 = serial)",
+        default=None,
+        help="worker processes for the sweep (default: one per CPU core)",
     )
     sweep.add_argument(
         "--out",
@@ -195,15 +199,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--out",
-        default="benchmarks/perf",
+        default=None,
         metavar="DIR",
-        help="directory for BENCH_<label>.json (default: benchmarks/perf)",
+        help="directory for BENCH_<label>.json (default: benchmarks/perf at "
+        "the repository root, wherever the command is run from)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="exact output file path (overrides --out and the BENCH_<label> "
+        "naming)",
     )
     bench.add_argument(
         "--compare",
+        nargs="+",
         default=None,
         metavar="FILE",
-        help="print a speedup table against a previous BENCH_*.json",
+        help="with one file: run the benchmarks, then print a speedup table "
+        "against it; with two files (OLD NEW): compare the two reports "
+        "without running anything and exit non-zero on regression beyond "
+        "--threshold",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) when a scenario is more than PCT percent slower "
+        "than the comparison baseline (default for two-file --compare: 20)",
     )
     bench.add_argument(
         "--no-write", action="store_true", help="print timings only, write nothing"
@@ -280,7 +304,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ran, skipped = len(executor.completed_cells), len(executor.skipped_cells)
     print(
         f"campaign '{spec.name}': {ran} cell(s) simulated, {skipped} resumed "
-        f"from store ({'serial' if not executor.used_pool else f'{args.jobs} jobs'})"
+        f"from store ({'serial' if not executor.used_pool else f'{executor.jobs} jobs'})"
     )
     baseline = spec.configuration_names()[0]
     if store is not None:

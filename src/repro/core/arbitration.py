@@ -232,11 +232,10 @@ class ArbitrationUnit:
         if way_entry is None:
             return
         for bank_request in result.bank_requests:
-            line_in_page = bank_request.primary.line_in_page
-            prediction = way_entry.lookup(line_in_page)
-            if prediction.known:
-                bank_request.way_hint = prediction.way
-                bank_request.primary.way_hint = prediction.way
+            way = way_entry.way_of(bank_request.primary.line_in_page)
+            if way is not None:
+                bank_request.way_hint = way
+                bank_request.primary.way_hint = way
                 for merged in bank_request.merged:
-                    merged.way_hint = prediction.way
+                    merged.way_hint = way
                 self.stats.bump(self._h_way_hint_assigned)

@@ -187,19 +187,17 @@ class InputBuffer:
         group = PageGroup(virtual_page=page)
         members = group.members
         stats = self.stats
-        h_compare = self._h_page_compare
-        first = True
+        compares = -1  # the leader compares against nobody
         for source in (held, new, (mbe,) if mbe is not None else ()):
             for request in source:
-                if first:
-                    first = False
-                else:
-                    stats.bump(h_compare)
+                compares += 1
                 if request.virtual_page != page:
                     continue
                 members.append(request)
                 if request.is_mbe:
                     group.mbe = request
+        if compares:  # integer sum: one bump of n is bit-identical to n bumps
+            stats.bump(self._h_page_compare, compares)
         stats.bump(self._h_group_selected)
         stats.bump(self._h_group_size, len(members))
         return group

@@ -131,9 +131,16 @@ class MemoryAccessRequest:
         return self.physical_address is not None
 
     def attach_translation(self, physical_page: int) -> None:
-        """Fill in the physical address from a translated page id."""
-        offset = self.virtual_address & (self.layout.page_bytes - 1)
-        self.physical_address = self.layout.compose(physical_page, offset)
+        """Fill in the physical address from a translated page id.
+
+        Inline of :meth:`AddressLayout.compose` without the range checks —
+        the page id comes from the TLB/page table and the offset from an
+        already-validated virtual address, so both are in range.
+        """
+        layout = self.layout
+        self.physical_address = (physical_page << layout.page_offset_bits) | (
+            self.virtual_address & layout._page_offset_mask
+        )
 
     def same_page_as(self, other: "MemoryAccessRequest") -> bool:
         """True when both requests touch the same virtual page."""

@@ -47,6 +47,36 @@ class WayPrediction:
     source: str = "none"
 
 
+#: (banks, associativity, lines_per_page) -> per-line encode/decode tables
+_CODEC_CACHE: dict = {}
+
+
+def _codec_tables(layout: AddressLayout):
+    """Per-line encode/decode tables for the 2-bit way codes.
+
+    ``decode[line][code]`` is the physical way (or ``None`` for code 0) and
+    ``encode[line][way]`` the code (or ``None`` when ``way`` is the line's
+    excluded way).  Precomputing them once per geometry removes the
+    list-building ``representable.index(...)`` work from every way-table
+    lookup and update (both sit on the per-fill/per-access hot path).
+    """
+    key = (layout.l1_banks, layout.l1_associativity, layout.lines_per_page)
+    tables = _CODEC_CACHE.get(key)
+    if tables is None:
+        assoc = layout.l1_associativity
+        decode: List[List[Optional[int]]] = []
+        encode: List[List[Optional[int]]] = []
+        for line in range(layout.lines_per_page):
+            excluded = (line // layout.l1_banks) % assoc
+            representable = [w for w in range(assoc) if w != excluded]
+            decode.append([None] + representable)
+            encode.append(
+                [None if w == excluded else representable.index(w) + 1 for w in range(assoc)]
+            )
+        tables = _CODEC_CACHE[key] = (decode, encode)
+    return tables
+
+
 class WayTableEntry:
     """Way codes for the 64 lines of one page, packed 2 bits per line.
 
@@ -64,6 +94,7 @@ class WayTableEntry:
     def __init__(self, layout: AddressLayout = DEFAULT_LAYOUT) -> None:
         self.layout = layout
         self._codes: List[int] = [0] * layout.lines_per_page
+        self._decode_tbl, self._encode_tbl = _codec_tables(layout)
 
     # ------------------------------------------------------------------
     # Encoding helpers
@@ -83,27 +114,26 @@ class WayTableEntry:
         """Map a physical way to its 2-bit code (``None`` if not encodable)."""
         if way < 0 or way >= self.layout.l1_associativity:
             raise ValueError(f"way {way} outside the cache associativity")
-        excluded = self.excluded_way(line_in_page)
-        if way == excluded:
-            return None
-        representable = [w for w in range(self.layout.l1_associativity) if w != excluded]
-        return representable.index(way) + 1
+        self._check_line(line_in_page)
+        return self._encode_tbl[line_in_page][way]
 
     def _decode(self, line_in_page: int, code: int) -> Optional[int]:
         """Map a 2-bit code back to a physical way (``None`` for unknown)."""
-        if code == 0:
-            return None
-        excluded = self.excluded_way(line_in_page)
-        representable = [w for w in range(self.layout.l1_associativity) if w != excluded]
-        return representable[code - 1]
+        self._check_line(line_in_page)
+        return self._decode_tbl[line_in_page][code]
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+    def way_of(self, line_in_page: int) -> Optional[int]:
+        """Determined way of ``line_in_page`` or ``None`` — the hot-path
+        :meth:`lookup` without the :class:`WayPrediction` allocation."""
+        return self._decode_tbl[line_in_page][self._codes[line_in_page]]
+
     def lookup(self, line_in_page: int) -> WayPrediction:
         """Way prediction for one line of the page."""
         self._check_line(line_in_page)
-        way = self._decode(line_in_page, self._codes[line_in_page])
+        way = self._decode_tbl[line_in_page][self._codes[line_in_page]]
         if way is None:
             return WayPrediction(known=False)
         return WayPrediction(known=True, way=way)
@@ -114,7 +144,6 @@ class WayTableEntry:
         Returns ``False`` when the way equals the line's excluded way and the
         entry therefore has to record "unknown" instead.
         """
-        self._check_line(line_in_page)
         code = self._encode(line_in_page, way)
         if code is None:
             self._codes[line_in_page] = 0
@@ -263,6 +292,12 @@ class WayTableHierarchy:
         translation.utlb.add_eviction_callback(self._on_utlb_replacement)
         translation.tlb.add_eviction_callback(self._on_tlb_replacement)
         self._h_feedback_update = self.stats.handle("way_pred.feedback_update")
+        # Remaining per-event counters resolved to integer slots (hot path).
+        self._h_uwt_writeback = self.stats.handle("uwt.writeback")
+        self._h_wt_page_invalidated = self.stats.handle("wt.page_invalidated")
+        self._h_fill_unmapped = self.stats.handle("way_pred.fill_unmapped")
+        self._h_evict_unmapped = self.stats.handle("way_pred.evict_unmapped")
+        self._h_unencodable = self.stats.handle("way_pred.unencodable_way")
 
     # ------------------------------------------------------------------
     # TLB synchronisation
@@ -275,7 +310,7 @@ class WayTableHierarchy:
             )
             if tlb_slot is not None:
                 self.wt.write_entry(tlb_slot, self.uwt.entry(slot))
-                self.stats.add("uwt.writeback")
+                self.stats.bump(self._h_uwt_writeback)
         # Load the WT entry of the incoming page (if TLB resident) so the uWT
         # immediately covers it; otherwise start from an empty entry.
         new_tlb_slot = self.translation.tlb.lookup(new.virtual_page, count_event=False)
@@ -290,7 +325,7 @@ class WayTableHierarchy:
         """TLB slot recycled: all way information of the old page is lost."""
         self.wt.clear_entry(slot)
         if old.valid:
-            self.stats.add("wt.page_invalidated")
+            self.stats.bump(self._h_wt_page_invalidated)
 
     # ------------------------------------------------------------------
     # Prediction path
@@ -361,17 +396,17 @@ class WayTableHierarchy:
         """L1 installed a line: set its validity/way in the owning entry."""
         table, slot = self._locate_slot_for_physical(line_address)
         if table is None:
-            self.stats.add("way_pred.fill_unmapped")
+            self.stats.bump(self._h_fill_unmapped)
             return
         line_in_page = self.layout.line_in_page(line_address)
         if not table.update_line(slot, line_in_page, way):
-            self.stats.add("way_pred.unencodable_way")
+            self.stats.bump(self._h_unencodable)
 
     def on_line_evict(self, line_address: int, way: int) -> None:
         """L1 evicted a line: clear its validity in the owning entry."""
         table, slot = self._locate_slot_for_physical(line_address)
         if table is None:
-            self.stats.add("way_pred.evict_unmapped")
+            self.stats.bump(self._h_evict_unmapped)
             return
         table.invalidate_line(slot, self.layout.line_in_page(line_address))
 

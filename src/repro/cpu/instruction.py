@@ -114,6 +114,35 @@ class Instruction:
         )
 
 
+def build_pipeline_arrays(instructions, capacity: int):
+    """Seq-indexed ``(kinds, addresses, sizes, producers)`` arrays.
+
+    ``kinds[seq]`` is 0/1/2 for compute/load/store and ``producers[seq]``
+    the tuple of absolute in-range producer seqs.  The single definition of
+    this encoding: both :meth:`repro.workloads.trace.MemoryTrace.pipeline_arrays`
+    (cached per trace) and the pipeline's ad-hoc fallback build through it,
+    so the two can never drift apart.
+    """
+    kinds = bytearray(capacity)
+    addresses = [0] * capacity
+    sizes = [0] * capacity
+    producers = [()] * capacity
+    for instruction in instructions:
+        seq = instruction.seq
+        if instruction.is_load:
+            kinds[seq] = 1
+        elif instruction.is_store:
+            kinds[seq] = 2
+        if instruction.address is not None:
+            addresses[seq] = instruction.address
+            sizes[seq] = instruction.size
+        if instruction.deps:
+            producers[seq] = tuple(
+                seq - d for d in instruction.deps if seq - d >= 0
+            )
+    return kinds, addresses, sizes, producers
+
+
 def load(address: int, size: int = 4, deps: Tuple[int, ...] = ()) -> Instruction:
     """Convenience constructor for a load instruction."""
     return Instruction(kind=InstructionKind.LOAD, address=address, size=size, deps=deps)

@@ -23,39 +23,61 @@ interface package does not need to import this module)::
 Execution time is the cycle in which the last instruction commits, which is
 what Fig. 4a normalizes across configurations.
 
+Event-driven scheduler (default)
+--------------------------------
+``run`` normally executes the trace through an event-driven loop built on
+:class:`repro.sim.events.EventWheel`: instead of polling every stage every
+cycle, each source of future activity registers the cycle it next acts —
+
+* instruction completions (computes, stores, load data returns) sit in the
+  wheel (or in a dedicated next-cycle bucket for the dominant one-cycle
+  case);
+* the issue stage runs only while ready or deferred instructions exist;
+* the L1 interface ticks only while it reports itself non-quiescent (it
+  aggregates its components — load queue, store buffer, merge buffer, input
+  buffer, cache banks — into that single next-activity signal; a submit or
+  store commit re-arms it);
+* commit and fetch are gated by their own cheap occupancy checks.
+
+When no stage has work in the current cycle and the wheel holds a future
+event, the clock jumps straight to it — the PR-2 *idle fast-forward* is the
+degenerate case of "no event scheduled before the next completion".  All
+skipped cycles are accounted into ``pipeline.cycles`` exactly as if they had
+been simulated, and intra-cycle ordering is pinned (fixed stage order, FIFO
+buckets, seq-ordered ready heap), so results are **bit-identical** to the
+cycle-driven reference loop; only wall time changes.
+
+The cycle-driven loop is retained for identity testing: construct the
+pipeline with ``scheduler="cycle"`` (or ``enable_fast_forward=False``, which
+also disables the idle fast-forward) to poll every component every cycle
+exactly as the PR-2 code did.  ``fast_forwarded_cycles`` records how many
+cycles either loop skipped.
+
 Hot-path notes
 --------------
 ``run`` is the innermost loop of every sweep, so its bookkeeping is arrays
 indexed by sequence number rather than dictionaries (``in_flight``,
 ``produced``, ``consumers``), instructions completing one cycle out
 (computes, stores, L1-hit notifications) take a bucket list instead of the
-completion-event heap, and per-cycle statistics are accumulated in locals
-and flushed once at the end of the run (sums of integers, so the flushed
-totals are bit-identical to per-cycle accumulation).
-
-Idle fast-forward
------------------
-Low-IPC workloads (``mcf``-style pointer chasing) spend the vast majority of
-their cycles waiting on a single outstanding DRAM miss or page walk.  When
-nothing can happen this cycle — no instruction is ready to issue, no entry
-can commit, fetch is blocked (ROB full or trace exhausted) and the interface
-reports itself quiescent — the pipeline jumps its clock directly to the next
-scheduled completion event instead of spinning through empty cycles.  The
-skipped cycles are accounted into the ``pipeline.cycles`` counter exactly as
-if they had been simulated, so results (cycles, statistics, energy) are
-bit-identical with the fast-forward enabled or disabled; only the wall time
-changes.  ``fast_forwarded_cycles`` records how many cycles were skipped.
+event wheel, and per-cycle statistics are accumulated in locals and flushed
+once at the end of the run (sums of integers, so the flushed totals are
+bit-identical to per-cycle accumulation).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Deque, Iterable, List, Optional, Tuple
 
-from repro.cpu.instruction import Instruction
+from repro.cpu.instruction import Instruction, build_pipeline_arrays
 from repro.cpu.rob import ReorderBuffer, RobEntry
+from repro.sim.events import EventWheel
 from repro.stats import StatCounters
+
+#: recognised values of the ``scheduler`` constructor argument
+SCHEDULERS = ("event", "cycle")
 
 
 @dataclass
@@ -96,19 +118,30 @@ class OutOfOrderPipeline:
         stats: Optional[StatCounters] = None,
         max_cycles: Optional[int] = None,
         enable_fast_forward: bool = True,
+        scheduler: str = "event",
     ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler {scheduler!r} not in {SCHEDULERS}")
         self.interface = interface
         self.params = params
         self.stats = stats if stats is not None else StatCounters()
         self.max_cycles = max_cycles
         self.rob = ReorderBuffer(params.rob_entries)
         self.enable_fast_forward = enable_fast_forward
-        #: idle cycles skipped by the fast-forward in the most recent run()
+        self.scheduler = scheduler
+        #: idle cycles skipped (fast-forward / event jumps) in the last run()
         self.fast_forwarded_cycles = 0
 
     # ------------------------------------------------------------------
-    def run(self, trace: Iterable[Instruction]) -> PipelineResult:
-        """Execute ``trace`` to completion and return the cycle count."""
+    def run(self, trace: Iterable[Instruction], trace_arrays=None) -> PipelineResult:
+        """Execute ``trace`` to completion and return the cycle count.
+
+        ``trace_arrays`` optionally carries the seq-indexed
+        ``(kinds, addresses, sizes, producers)`` arrays of the *full* trace
+        (see :meth:`repro.workloads.trace.MemoryTrace.pipeline_arrays`); when
+        omitted they are derived here.  The event-driven loop reads these
+        arrays instead of per-instruction attributes.
+        """
         instructions = list(trace)
         for seq, instruction in enumerate(instructions):
             if instruction.seq < 0:
@@ -124,7 +157,437 @@ class OutOfOrderPipeline:
         for instruction in instructions:
             if instruction.seq >= capacity:
                 capacity = instruction.seq + 1
+        # ``enable_fast_forward=False`` selects the cycle-driven reference
+        # loop outright: it is what "no skipping at all" means, and the
+        # identity tests rely on it polling every component every cycle.
+        if self.scheduler == "cycle" or not self.enable_fast_forward:
+            return self._run_cycle_driven(instructions, total, capacity)
+        if trace_arrays is None or len(trace_arrays[0]) < capacity:
+            trace_arrays = build_pipeline_arrays(instructions, capacity)
+        return self._run_event_driven(instructions, total, capacity, trace_arrays)
 
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduler (default)
+    # ------------------------------------------------------------------
+    def _run_event_driven(
+        self,
+        instructions: List[Instruction],
+        total: int,
+        capacity: int,
+        trace_arrays,
+    ) -> PipelineResult:
+        """Event-driven execution: stages run only when they have events.
+
+        Bookkeeping is data-oriented: instead of per-instruction RobEntry
+        objects, parallel seq-indexed arrays carry the issued/completed flags
+        and dependency counts, and the ROB itself is a deque of seqs.  Flag
+        reads become byte loads, which matters at one-to-two million
+        instruction events per second of sweep.
+        """
+        params = self.params
+        max_cycles = self.max_cycles or (200 * total + 100_000)
+        issue_width = params.issue_width
+        fetch_width = params.fetch_width
+        commit_width = params.commit_width
+        compute_latency = params.compute_latency
+
+        interface = self.interface
+        begin_cycle = interface.begin_cycle
+        can_accept_load = interface.can_accept_load
+        can_accept_store = interface.can_accept_store
+        reserve_load_slot = interface.reserve_load_slot
+        reserve_store_slot = interface.reserve_store_slot
+        submit_load = interface.submit_load
+        submit_store = interface.submit_store
+        commit_store = interface.commit_store
+        tick = interface.tick
+        # Optional protocol extension: an interface without quiescent() is
+        # treated as active every cycle (unit-test stubs keep working; they
+        # simply never skip a tick and never allow a clock jump).
+        quiescent = getattr(interface, "quiescent", None)
+
+        rob_entries = self.rob.entries
+        #: the ROB as a deque of seqs (program order); self.rob stays empty —
+        #: the cycle-driven reference loop still goes through its RobEntry API
+        rob_q: Deque[int] = deque()
+        rob_len = 0  # len(rob_q), maintained inline (hot gate checks)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        #: completion events further than one cycle out live in the wheel
+        #: (single producer: bare payloads, FIFO per bucket)
+        wheel = EventWheel(single_component=True)
+        schedule = wheel.schedule
+        pop_due = wheel.pop_due
+        #: local mirror of wheel.next_cycle() (int comparisons on the hot path)
+        NEVER = float("inf")
+        wheel_next = NEVER
+
+        next_fetch = 0
+        committed = 0
+        cycle = 0
+        last_commit_cycle = 0
+
+        #: seq -> dispatched-and-not-yet-committed flag
+        in_rob = bytearray(capacity)
+        #: seq -> issued flag
+        issued_f = bytearray(capacity)
+        #: seq -> completed flag
+        completed_f = bytearray(capacity)
+        #: seq -> 1 once the instruction's result is available
+        produced = bytearray(capacity)
+        #: seq -> outstanding producer count while dispatched
+        pending_deps = [0] * capacity
+        #: seq-indexed instruction facts (shared across runs of one trace)
+        kinds, addresses, sizes, producers_of = trace_arrays
+        #: seq -> waiting consumer seqs (None when nobody waits)
+        consumers: List[Optional[List[int]]] = [None] * capacity
+        #: instructions ready at dispatch, in fetch order (ascending seq) —
+        #: the common case, kept out of the heap entirely
+        ready_fifo: Deque[int] = deque()
+        #: min-heap of seqs woken by completing producers (oldest first)
+        ready_heap: List[int] = []
+        #: memory ops that were ready but found no slot this cycle, plus any
+        #: ready instructions beyond this cycle's issue width (ascending seq)
+        deferred: List[int] = []
+        deferred_has_load = False
+        #: True while ``deferred`` may hold more than slot-starved stores
+        #: (issue-width leftovers of unknown kind block clock jumps)
+        deferred_blocking = False
+        #: seqs completing exactly next cycle (computes, stores, L1 hits)
+        due_next: List[int] = []
+        #: stores must claim store-buffer entries in program order (as real
+        #: store queues allocate at dispatch); otherwise younger stores can
+        #: fill the SB and deadlock an older store at the ROB head.
+        store_order: List[int] = []
+        store_order_head = 0
+
+        loads = stores = computes = 0
+        # Per-cycle counters accumulated locally, flushed at the end of run().
+        cycles_counted = 0
+        issued_total = 0
+        dispatched_total = 0
+
+        bucket_latency_ok = compute_latency == 1
+
+        # The interface may carry state from a warm-up run of the same trace;
+        # start ticking it unless it positively reports itself idle.
+        interface_active = quiescent is None or not quiescent()
+
+        while committed < total:
+            if cycle > max_cycles:
+                raise RuntimeError(
+                    f"pipeline exceeded {max_cycles} cycles; likely deadlock "
+                    f"({committed}/{total} committed)"
+                )
+
+            # ----------------------------------------------------------
+            # 1. Retire completions scheduled for this cycle.  Processing
+            #    order within one cycle does not affect outcomes (waking a
+            #    consumer only pushes onto the ready heap, which issues in
+            #    seq order regardless), so the bucket of one-cycle
+            #    completions is drained before the wheel.
+            # ----------------------------------------------------------
+            if due_next:
+                due_now = due_next
+                due_next = []
+                for seq in due_now:
+                    if completed_f[seq]:
+                        continue
+                    completed_f[seq] = 1
+                    produced[seq] = 1
+                    waiting = consumers[seq]
+                    if waiting is not None:
+                        consumers[seq] = None
+                        for consumer in waiting:
+                            left = pending_deps[consumer] - 1
+                            pending_deps[consumer] = left
+                            if left == 0 and not issued_f[consumer]:
+                                heappush(ready_heap, consumer)
+            if wheel_next <= cycle:
+                for seq in pop_due(cycle):
+                    if completed_f[seq]:
+                        continue
+                    completed_f[seq] = 1
+                    produced[seq] = 1
+                    waiting = consumers[seq]
+                    if waiting is not None:
+                        consumers[seq] = None
+                        for consumer in waiting:
+                            left = pending_deps[consumer] - 1
+                            pending_deps[consumer] = left
+                            if left == 0 and not issued_f[consumer]:
+                                heappush(ready_heap, consumer)
+                wheel_next = wheel.next_cycle()
+                if wheel_next is None:
+                    wheel_next = NEVER
+
+            # ----------------------------------------------------------
+            # 2. Issue ready instructions (oldest first, up to issue width).
+            #    The stage only runs while instructions are ready/deferred.
+            #    Three ascending sources are merged by seq — the deferred
+            #    list, the dispatch FIFO and the wake heap — so the issue
+            #    order is identical to popping one min-heap of all of them,
+            #    without funnelling every instruction through heap churn.
+            # ----------------------------------------------------------
+            if ready_fifo or ready_heap or deferred:
+                begin_cycle(cycle)  # reset the per-cycle slot counters
+                issued = 0
+                postponed: List[int] = []
+                postponed_load = False
+                loads_blocked = stores_blocked = False
+                di = 0
+                dn = len(deferred)
+                # Neither wakes nor deferrals can appear mid-issue, so the
+                # single-source common case (dispatch FIFO only) is decided
+                # once per cycle and skips the three-way merge entirely.
+                simple = not dn and not ready_heap
+                while issued < issue_width:
+                    if simple:
+                        if not ready_fifo:
+                            break
+                        seq = ready_fifo.popleft()
+                    else:
+                        s_def = deferred[di] if di < dn else NEVER
+                        s_fifo = ready_fifo[0] if ready_fifo else NEVER
+                        s_heap = ready_heap[0] if ready_heap else NEVER
+                        if s_def <= s_fifo:
+                            if s_def <= s_heap:
+                                if s_def is NEVER:
+                                    break  # every source is empty
+                                seq = s_def
+                                di += 1
+                            else:
+                                seq = heappop(ready_heap)
+                        elif s_fifo <= s_heap:
+                            seq = ready_fifo.popleft()
+                        else:
+                            seq = heappop(ready_heap)
+                    if not in_rob[seq] or issued_f[seq]:
+                        continue
+                    kind = kinds[seq]
+                    if kind == 0:  # compute
+                        issued_f[seq] = 1
+                        if bucket_latency_ok:
+                            due_next.append(seq)
+                        else:
+                            target = cycle + compute_latency
+                            schedule(target, seq)
+                            if target < wheel_next:
+                                wheel_next = target
+                        issued += 1
+                    elif kind == 1:  # load
+                        if (
+                            not loads_blocked
+                            and can_accept_load()
+                            and reserve_load_slot()
+                        ):
+                            issued_f[seq] = 1
+                            submit_load(seq, addresses[seq], sizes[seq], cycle)
+                            interface_active = True
+                            issued += 1
+                        else:
+                            # Out of load slots this cycle: keep the load for
+                            # the next cycle but let younger computes proceed.
+                            loads_blocked = True
+                            postponed.append(seq)
+                            postponed_load = True
+                    else:  # store
+                        in_store_order = (
+                            store_order_head < len(store_order)
+                            and store_order[store_order_head] == seq
+                        )
+                        if (
+                            not stores_blocked
+                            and in_store_order
+                            and can_accept_store()
+                            and reserve_store_slot()
+                        ):
+                            store_order_head += 1
+                            issued_f[seq] = 1
+                            submit_store(seq, addresses[seq], sizes[seq], cycle)
+                            interface_active = True
+                            # Stores produce no register value: they are
+                            # complete (for commit) once their address is
+                            # computed.
+                            due_next.append(seq)
+                            issued += 1
+                        else:
+                            stores_blocked = True
+                            postponed.append(seq)
+                # Unattempted deferred leftovers (issue width exhausted) stay
+                # deferred; they are younger than everything in ``postponed``
+                # (the merge consumed strictly older seqs first), so appending
+                # keeps the list ascending.  Their kind is unknown here, so
+                # they block clock jumps until re-examined.
+                if di < dn:
+                    postponed += deferred[di:]
+                    deferred_blocking = True
+                else:
+                    deferred_blocking = False
+                deferred = postponed
+                deferred_has_load = postponed_load
+                issued_total += issued
+
+            # ----------------------------------------------------------
+            # 3. Advance the interface while it has scheduled activity;
+            #    schedule load completions.
+            # ----------------------------------------------------------
+            if interface_active:
+                for tag, ready_cycle in tick(cycle):
+                    if not 0 <= tag < capacity or not in_rob[tag] or completed_f[tag]:
+                        continue
+                    if ready_cycle <= cycle + 1:
+                        due_next.append(tag)
+                    else:
+                        schedule(ready_cycle, tag)
+                        if ready_cycle < wheel_next:
+                            wheel_next = ready_cycle
+
+            # ----------------------------------------------------------
+            # 4. Commit in order.
+            # ----------------------------------------------------------
+            if rob_q and completed_f[rob_q[0]]:
+                commits = 0
+                while commits < commit_width and rob_q and completed_f[rob_q[0]]:
+                    seq = rob_q.popleft()
+                    rob_len -= 1
+                    commits += 1
+                    committed += 1
+                    last_commit_cycle = cycle
+                    kind = kinds[seq]
+                    if kind == 1:
+                        loads += 1
+                    elif kind == 2:
+                        stores += 1
+                        commit_store(seq, cycle)
+                        # The committed store must now drain SB -> MB -> cache.
+                        interface_active = True
+                    else:
+                        computes += 1
+                    in_rob[seq] = 0
+                    consumers[seq] = None
+
+            cycles_counted += 1
+
+            # ----------------------------------------------------------
+            # 5. Fetch / dispatch into the ROB.
+            # ----------------------------------------------------------
+            if next_fetch < total:
+                fetched = 0
+                while (
+                    fetched < fetch_width
+                    and next_fetch < total
+                    and rob_len < rob_entries
+                ):
+                    seq = instructions[next_fetch].seq
+                    rob_q.append(seq)
+                    rob_len += 1
+                    in_rob[seq] = 1
+                    if kinds[seq] == 2:
+                        store_order.append(seq)
+                    pending = 0
+                    producers = producers_of[seq]
+                    if producers:
+                        for producer in producers:
+                            # A producer before this run's slice (or already
+                            # committed) is not in the ROB and counts as done.
+                            if produced[producer] or not in_rob[producer]:
+                                continue
+                            waiting = consumers[producer]
+                            if waiting is None:
+                                waiting = consumers[producer] = []
+                            waiting.append(seq)
+                            pending += 1
+                        pending_deps[seq] = pending
+                    if pending == 0:
+                        # Fetch order is ascending seq: a plain FIFO append.
+                        ready_fifo.append(seq)
+                    next_fetch += 1
+                    fetched += 1
+                dispatched_total += fetched
+
+            cycle += 1
+
+            # ----------------------------------------------------------
+            # 6. Re-arm / disarm the interface event: after a tick (and any
+            #    store commits) the interface either still has work next
+            #    cycle or reports itself quiescent, in which case its event
+            #    is descheduled until a submit or commit re-arms it.
+            # ----------------------------------------------------------
+            if interface_active and quiescent is not None and quiescent():
+                interface_active = False
+
+            # ----------------------------------------------------------
+            # 7. No event scheduled for this cycle: jump the clock to the
+            #    next wheel event.  Every skipped cycle would have been a
+            #    complete no-op (nothing to retire/issue/tick/commit/fetch),
+            #    so only the cycle counter advances — results stay
+            #    bit-identical.
+            #
+            #    Deferred memory ops require care: their issue attempt used
+            #    *pre-tick* state, but this cycle's tick may have released
+            #    the back-pressure that blocked them.  A quiescent interface
+            #    holds no unserviced loads, so its load queue is drained and
+            #    a deferred *load* would always issue next cycle — never
+            #    jump then.  A deferred *store* can only issue next cycle if
+            #    it heads the program-order store sequence and the store
+            #    buffer has room; both are stable until a commit or a
+            #    completion event, so anything else is safe to jump across.
+            # ----------------------------------------------------------
+            if (
+                not ready_fifo
+                and not ready_heap
+                and not due_next
+                and not interface_active
+                and quiescent is not None
+                and wheel_next is not NEVER
+                and wheel_next > cycle
+                and (next_fetch >= total or rob_len >= rob_entries)
+                and committed < total
+                and not (rob_q and completed_f[rob_q[0]])
+                and (
+                    not deferred
+                    or (
+                        not deferred_blocking
+                        and not deferred_has_load
+                        and (
+                            store_order_head >= len(store_order)
+                            or store_order[store_order_head] not in deferred
+                            or not can_accept_store()
+                        )
+                    )
+                )
+            ):
+                skipped = wheel_next - cycle
+                cycles_counted += skipped
+                self.fast_forwarded_cycles += skipped
+                cycle = wheel_next
+
+        total_cycles = last_commit_cycle + 1
+        interface.finalize(total_cycles)
+        # Flush the locally accumulated per-cycle counters in one shot.
+        stats = self.stats
+        stats.add("pipeline.issued", issued_total)
+        stats.add("pipeline.cycles", cycles_counted)
+        stats.add("pipeline.dispatched", dispatched_total)
+        stats.set("pipeline.total_cycles", total_cycles)
+        stats.set("pipeline.committed", committed)
+        return PipelineResult(
+            cycles=total_cycles,
+            instructions=total,
+            loads=loads,
+            stores=stores,
+            computes=computes,
+        )
+
+    # ------------------------------------------------------------------
+    # Cycle-driven reference loop (identity testing; PR-2 behaviour)
+    # ------------------------------------------------------------------
+    def _run_cycle_driven(
+        self, instructions: List[Instruction], total: int, capacity: int
+    ) -> PipelineResult:
         params = self.params
         max_cycles = self.max_cycles or (200 * total + 100_000)
         issue_width = params.issue_width

@@ -80,6 +80,8 @@ class InterfaceEnergyModel:
         self.sram = SRAMEnergyModel(parameters)
         self.specs: Dict[str, SRAMArraySpec] = {}
         self.event_map: Dict[str, List[EventTarget]] = {}
+        self._access_energy_cache: Dict = {}
+        self._leakage_cache: Optional[Dict[str, float]] = None
         self._build_specs()
         self._build_event_map()
 
@@ -250,13 +252,25 @@ class InterfaceEnergyModel:
     # Energy computation
     # ------------------------------------------------------------------
     def access_energy_pj(self, structure: str, kind: str) -> float:
-        """Per-access dynamic energy of ``structure`` for ``kind`` accesses."""
+        """Per-access dynamic energy of ``structure`` for ``kind`` accesses.
+
+        Memoised per (structure, kind): the value is a pure function of the
+        static array specs, and the report path queries it for every event
+        of every cell of a sweep.
+        """
+        key = (structure, kind)
+        cached = self._access_energy_cache.get(key)
+        if cached is not None:
+            return cached
         spec = self.specs[structure]
         if kind == "read":
-            return self.sram.read_energy_pj(spec)
-        if kind == "write":
-            return self.sram.write_energy_pj(spec)
-        raise ValueError(f"unknown access kind {kind!r}")
+            energy = self.sram.read_energy_pj(spec)
+        elif kind == "write":
+            energy = self.sram.write_energy_pj(spec)
+        else:
+            raise ValueError(f"unknown access kind {kind!r}")
+        self._access_energy_cache[key] = energy
+        return energy
 
     def dynamic_energy_pj(self, stats: StatCounters) -> Dict[str, float]:
         """Dynamic energy per structure from the event counters."""
@@ -283,15 +297,18 @@ class InterfaceEnergyModel:
         Array multiplicities are applied here: there are ``banks x ways``
         L1 tag/data arrays but only one uTLB/TLB/uWT/WT instance each.
         """
+        if self._leakage_cache is not None:
+            return self._leakage_cache
         layout = self.config.layout
         multipliers = {
             "l1.tag": layout.l1_banks * layout.l1_associativity,
             "l1.data": layout.l1_banks * layout.l1_associativity,
         }
-        return {
+        self._leakage_cache = {
             name: self.sram.leakage_mw(spec) * multipliers.get(name, 1)
             for name, spec in self.specs.items()
         }
+        return self._leakage_cache
 
 
 def build_energy_model(

@@ -108,6 +108,20 @@ class BaseL1Interface(ABC):
         self._h_mbe_queued = self.stats.handle("interface.mbe_queued")
         self._h_mbe_written = self.stats.handle("interface.mbe_written")
         self._h_load_accesses = self.stats.handle("interface.load_accesses")
+        # Fused per-load submission charge (interface + load queue counters).
+        self._combo_load_submit = (
+            (self._h_loads_submitted, 1),
+            (self.load_queue._h_allocate, 1),
+        )
+        # Fused SB+MB lookup charges for the per-load forwarding search.
+        self._combo_fwd_full = (
+            (self.store_buffer._h_lookup_full, 1),
+            (self.merge_buffer._h_lookup_full, 1),
+        )
+        self._combo_fwd_split = (
+            (self.store_buffer._h_lookup_offset, 1),
+            (self.merge_buffer._h_lookup_offset, 1),
+        )
 
     # ------------------------------------------------------------------
     # Per-cycle slot management (address computation units, Table I)
@@ -159,10 +173,9 @@ class BaseL1Interface(ABC):
     # ------------------------------------------------------------------
     def submit_load(self, tag: Any, address: int, size: int, cycle: int) -> None:
         """Accept a load whose address computation finished this cycle."""
-        self.load_queue.allocate(tag, address, cycle)
-        self.load_queue.mark_issued(tag, cycle)
-        self.stats.bump(self._h_loads_submitted)
-        self._enqueue_load(PendingLoad(tag=tag, virtual_address=address, size=size, submit_cycle=cycle))
+        self.load_queue.allocate_issued(tag, address, cycle, count=False)
+        self.stats.bump_many(self._combo_load_submit)
+        self._enqueue_load(tag, address, size, cycle)
 
     def submit_store(self, tag: Any, address: int, size: int, cycle: int) -> None:
         """Accept a store whose address computation finished this cycle."""
@@ -203,11 +216,9 @@ class BaseL1Interface(ABC):
             self._drain_committed_stores(cycle)
         completions = self._service_cycle(cycle)
         if completions:
-            mark_complete = self.load_queue.mark_complete
-            release = self.load_queue.release
+            complete_release = self.load_queue.complete_release
             for tag, ready in completions:
-                mark_complete(tag, ready)
-                release(tag)
+                complete_release(tag, ready)
         return completions
 
     # ------------------------------------------------------------------
@@ -217,12 +228,16 @@ class BaseL1Interface(ABC):
         """True when :meth:`tick` would be a pure no-op this and every
         following cycle until new work arrives.
 
-        The pipeline uses this to fast-forward its clock across long stalls
-        (e.g. a pointer-chasing load missing to DRAM): when no loads are
-        queued anywhere, no committed stores wait to drain and no merge
-        buffer entries / write-backs are in flight, ticking the interface
-        cycle by cycle cannot change any architectural or counter state, so
-        the clock may jump straight to the next completion event.
+        This is the interface's *next-activity* signal for the event-driven
+        pipeline: it aggregates every component the interface owns (load
+        queue, store buffer, merge buffer, pending write-backs, and — in the
+        MALEC subclass — the input buffer and MBE backlog) into one "has an
+        event scheduled" bit.  A non-quiescent interface has activity every
+        cycle, so its next event is always the next cycle; a quiescent one
+        has no event scheduled at all, and the pipeline neither ticks it nor
+        counts it against clock jumps until a submit or a store commit
+        re-arms it.  The PR-2 idle fast-forward (jumping a fully stalled
+        machine to the next completion) falls out as the degenerate case.
         """
         return (
             not self._pending_writebacks
@@ -235,8 +250,14 @@ class BaseL1Interface(ABC):
         return True
 
     @abstractmethod
-    def _enqueue_load(self, load: PendingLoad) -> None:
-        """Store a submitted load until it can access the cache."""
+    def _enqueue_load(self, tag: Any, address: int, size: int, cycle: int) -> None:
+        """Store a submitted load until it can access the cache.
+
+        Receives the raw submission fields so each interface builds exactly
+        the queue record it needs (a :class:`PendingLoad` for the baselines,
+        a :class:`~repro.core.request.MemoryAccessRequest` for MALEC) without
+        an intermediate allocation.
+        """
 
     def _on_store_submitted(self, address: int, size: int, cycle: int) -> None:
         """Subclass hook invoked when a store enters the store buffer."""
@@ -259,18 +280,35 @@ class BaseL1Interface(ABC):
         the split page/offset structures.  Forwarding hits are counted but the
         load still accesses the cache, keeping the cache-access counts
         comparable across configurations (the paper excludes SB/MB energy).
+
+        The two buffer scans are inlined here (same counters as the buffers'
+        own ``probe``/``lookup`` methods, one fused charge bump): this runs
+        once per serviced load, so per-call overhead matters.
         """
-        self.store_buffer.lookup(virtual_address, size, split=split)
-        self.merge_buffer.lookup(virtual_address, split=split)
+        stats = self.stats
+        store_buffer = self.store_buffer
+        merge_buffer = self.merge_buffer
+        stats.bump_many(self._combo_fwd_split if split else self._combo_fwd_full)
+        end = virtual_address + size
+        for entry in reversed(store_buffer._entries):
+            start = entry.virtual_address
+            if start < end and virtual_address < start + entry.size:
+                stats.bump(store_buffer._h_forward_hit)
+                break
+        mb_entries = merge_buffer._entries
+        if mb_entries:
+            line_address = virtual_address & ~(self.layout._line_offset_mask)
+            for entry in mb_entries:
+                if entry.line_address == line_address:
+                    stats.bump(merge_buffer._h_forward_hit)
+                    break
 
     def _writeback_to_cache(self, writeback: PendingWriteback, way_hint: Optional[int] = None) -> None:
         """Perform the cache write of an evicted merge-buffer entry."""
         if writeback.physical_line_address is None:
-            translation = self._translate(writeback.virtual_line_address)
-            writeback.physical_line_address = self.layout.line_address(
-                translation.physical_address
-            )
-        self.hierarchy.l1.store(writeback.physical_line_address, way_hint=way_hint)
+            physical, _ = self.translation.translate_pair(writeback.virtual_line_address)
+            writeback.physical_line_address = self.layout.line_address(physical)
+        self.hierarchy.l1.store_parts(writeback.physical_line_address, way_hint=way_hint)
         self.stats.bump(self._h_mbe_written)
 
     # ------------------------------------------------------------------

@@ -51,8 +51,15 @@ class BaselineSingleInterface(BaseL1Interface):
         # would only hide the structural hazard the paper wants to expose.
         return len(self._pending_loads) < 4
 
-    def _enqueue_load(self, load: PendingLoad) -> None:
-        self._pending_loads.append(load)
+    def can_accept_load(self) -> bool:
+        # Inline of the base check + the pending-queue bound (hot path).
+        lq = self.load_queue
+        return len(lq._entries) < lq.entries and len(self._pending_loads) < 4
+
+    def _enqueue_load(self, tag, address, size, cycle) -> None:
+        self._pending_loads.append(
+            PendingLoad(tag=tag, virtual_address=address, size=size, submit_cycle=cycle)
+        )
 
     def _loads_quiescent(self) -> bool:
         return not self._pending_loads
@@ -61,7 +68,7 @@ class BaselineSingleInterface(BaseL1Interface):
         # The baseline translates every memory reference individually; the
         # store's translation shares the cycle's single TLB port with its
         # address computation.
-        self._translate(address)
+        self.translation.translate_probe(address)
 
     # ------------------------------------------------------------------
     def _service_cycle(self, cycle: int) -> List[CompletedAccess]:
@@ -69,11 +76,11 @@ class BaselineSingleInterface(BaseL1Interface):
         completions: List[CompletedAccess] = []
         if self._pending_loads:
             load = self._pending_loads.popleft()
-            translation = self._translate(load.virtual_address)
-            self._forwarding_lookups(load.virtual_address, load.size, split=False)
-            outcome = self.hierarchy.l1.load(translation.physical_address)
-            ready = cycle + translation.latency + outcome.latency
-            completions.append((load.tag, ready))
+            address = load.virtual_address
+            physical, translation_latency = self.translation.translate_pair(address)
+            self._forwarding_lookups(address, load.size, split=False)
+            latency = self.hierarchy.l1.load_parts(physical)[2]
+            completions.append((load.tag, cycle + translation_latency + latency))
             self.stats.bump(self._h_load_accesses)
         elif self._pending_writebacks:
             self._writeback_to_cache(self._pending_writebacks.popleft())

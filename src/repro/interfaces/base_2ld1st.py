@@ -58,8 +58,18 @@ class BaselineDualLoadInterface(BaseL1Interface):
     def _can_accept_load_extra(self) -> bool:
         return len(self._pending_loads) < 2 * self.loads_per_cycle
 
-    def _enqueue_load(self, load: PendingLoad) -> None:
-        self._pending_loads.append(load)
+    def can_accept_load(self) -> bool:
+        # Inline of the base check + the pending-queue bound (hot path).
+        lq = self.load_queue
+        return (
+            len(lq._entries) < lq.entries
+            and len(self._pending_loads) < 2 * self.loads_per_cycle
+        )
+
+    def _enqueue_load(self, tag, address, size, cycle) -> None:
+        self._pending_loads.append(
+            PendingLoad(tag=tag, virtual_address=address, size=size, submit_cycle=cycle)
+        )
 
     def _loads_quiescent(self) -> bool:
         return not self._pending_loads
@@ -67,46 +77,51 @@ class BaselineDualLoadInterface(BaseL1Interface):
     def _on_store_submitted(self, address: int, size: int, cycle: int) -> None:
         # Each memory reference is translated individually through one of the
         # three TLB ports.
-        self._translate(address)
+        self.translation.translate_probe(address)
 
     # ------------------------------------------------------------------
     def _service_cycle(self, cycle: int) -> List[CompletedAccess]:
         """Service up to two loads and one write-back, within bank port limits."""
         completions: List[CompletedAccess] = []
-        if not self._pending_loads and not self._pending_writebacks:
+        pending_loads = self._pending_loads
+        if not pending_loads and not self._pending_writebacks:
             return completions
         bank_accesses: Dict[int, int] = {}
         bank_writes: Dict[int, int] = {}
+        stats = self.stats
+        bank_index = self.layout.bank_index
+        translate_pair = self.translation.translate_pair
+        load_parts = self.hierarchy.l1.load_parts
 
         # Demand loads: oldest first, up to the number of read ports.
         serviced = 0
         deferred: List[PendingLoad] = []
-        while self._pending_loads and serviced < self.loads_per_cycle:
-            load = self._pending_loads.popleft()
-            bank = self.layout.bank_index(load.virtual_address)
+        while pending_loads and serviced < self.loads_per_cycle:
+            load = pending_loads.popleft()
+            address = load.virtual_address
+            bank = bank_index(address)
             if bank_accesses.get(bank, 0) >= self._MAX_ACCESSES_PER_BANK:
                 deferred.append(load)
-                self.stats.bump(self._h_bank_conflict)
+                stats.bump(self._h_bank_conflict)
                 continue
-            translation = self._translate(load.virtual_address)
-            self._forwarding_lookups(load.virtual_address, load.size, split=False)
-            outcome = self.hierarchy.l1.load(translation.physical_address)
+            physical, translation_latency = translate_pair(address)
+            self._forwarding_lookups(address, load.size, split=False)
+            latency = load_parts(physical)[2]
             bank_accesses[bank] = bank_accesses.get(bank, 0) + 1
-            ready = cycle + translation.latency + outcome.latency
-            completions.append((load.tag, ready))
-            self.stats.bump(self._h_load_accesses)
+            completions.append((load.tag, cycle + translation_latency + latency))
+            stats.bump(self._h_load_accesses)
             serviced += 1
         for load in reversed(deferred):
-            self._pending_loads.appendleft(load)
+            pending_loads.appendleft(load)
 
         # One merge-buffer write-back through the read/write port.
         if self._pending_writebacks:
             writeback = self._pending_writebacks[0]
             if writeback.physical_line_address is None:
-                translation = self._translate(writeback.virtual_line_address)
-                writeback.physical_line_address = self.layout.line_address(
-                    translation.physical_address
+                physical, _ = self.translation.translate_pair(
+                    writeback.virtual_line_address
                 )
+                writeback.physical_line_address = self.layout.line_address(physical)
             bank = self.layout.bank_index(writeback.physical_line_address)
             if (
                 bank_writes.get(bank, 0) < self._MAX_WRITES_PER_BANK

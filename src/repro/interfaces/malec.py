@@ -119,6 +119,14 @@ class MalecInterface(BaseL1Interface):
         self._h_way_lookup = self.stats.handle("malec.way_lookup")
         self._h_way_known = self.stats.handle("malec.way_known")
         self._h_reduced_access = self.stats.handle("malec.reduced_access")
+        # Fixed way-prediction accounting patterns (one bump_many per access).
+        self._combo_way_unknown = ((self._h_way_lookup, 1),)
+        self._combo_way_known = ((self._h_way_lookup, 1), (self._h_way_known, 1))
+        self._combo_way_reduced = (
+            (self._h_way_lookup, 1),
+            (self._h_way_known, 1),
+            (self._h_reduced_access, 1),
+        )
 
     # ------------------------------------------------------------------
     # Back-pressure and queuing
@@ -126,19 +134,31 @@ class MalecInterface(BaseL1Interface):
     def _can_accept_load_extra(self) -> bool:
         return self.input_buffer.can_accept_load()
 
+    def can_accept_load(self) -> bool:
+        # Inline of the base check + input_buffer.can_accept_load(): this
+        # runs once per load issue attempt, so the call chain is flattened.
+        lq = self.load_queue
+        if len(lq._entries) >= lq.entries:
+            return False
+        ib = self.input_buffer
+        if len(ib._new) >= ib.new_loads_per_cycle:
+            return False
+        return len(ib._held) < ib.held_capacity + 1
+
     def _loads_quiescent(self) -> bool:
-        # The Input Buffer's end_cycle() on an empty buffer only adds zero to
-        # the held-loads counter, so skipping it during a fast-forwarded
-        # stall leaves every statistic bit-identical.
+        # An empty-interface tick is a pure no-op (see _service_cycle), so
+        # the event-driven pipeline may skip ticking a quiescent MALEC
+        # entirely — mid-run or across a fast-forwarded stall — with every
+        # statistic staying bit-identical.
         return self.input_buffer.empty and not self._mbe_backlog
 
-    def _enqueue_load(self, load: PendingLoad) -> None:
+    def _enqueue_load(self, tag, address, size, cycle) -> None:
         request = MemoryAccessRequest(
             kind=AccessKind.LOAD,
-            virtual_address=load.virtual_address,
-            size=load.size,
-            arrival_cycle=load.submit_cycle,
-            tag=load.tag,
+            virtual_address=address,
+            size=size,
+            arrival_cycle=cycle,
+            tag=tag,
             layout=self.layout,
         )
         self.input_buffer.add_load(request)
@@ -170,9 +190,10 @@ class MalecInterface(BaseL1Interface):
     def _service_cycle(self, cycle: int) -> List[CompletedAccess]:
         completions: List[CompletedAccess] = []
         if not self._mbe_backlog and self.input_buffer.empty:
-            # Nothing waiting anywhere: end_cycle() on an empty buffer only
-            # records zero held loads, so skip the group-selection machinery.
-            self.input_buffer.end_cycle()
+            # Nothing waiting anywhere: a true no-op.  (end_cycle() on an
+            # empty buffer would only add zero to the held-loads counter;
+            # not calling it keeps the quiescent tick side-effect free, which
+            # is what lets the event-driven pipeline skip it altogether.)
             return completions
         self._feed_mbe_slot(cycle)
         group = self.input_buffer.select_group()
@@ -181,8 +202,8 @@ class MalecInterface(BaseL1Interface):
             return completions
 
         # One translation per cycle, shared by the whole page group.
-        translation = self.translation.translate(
-            self.layout.compose(group.virtual_page, 0)
+        physical_page, translation_latency = self.translation.translate_page_pair(
+            group.virtual_page
         )
         way_entry = None
         if self.way_tables is not None:
@@ -198,7 +219,9 @@ class MalecInterface(BaseL1Interface):
 
         for bank_request in result.bank_requests:
             completions.extend(
-                self._service_bank_request(bank_request, translation, cycle)
+                self._service_bank_request(
+                    bank_request, physical_page, translation_latency, cycle
+                )
             )
 
         self.input_buffer.retire(result.serviced)
@@ -208,12 +231,16 @@ class MalecInterface(BaseL1Interface):
         return completions
 
     def _service_bank_request(
-        self, bank_request: BankRequest, translation, cycle: int
+        self,
+        bank_request: BankRequest,
+        physical_page: int,
+        translation_latency: int,
+        cycle: int,
     ) -> List[CompletedAccess]:
         """Perform one bank access and return completions of its loads."""
         completions: List[CompletedAccess] = []
         primary = bank_request.primary
-        primary.attach_translation(translation.physical_page)
+        primary.attach_translation(physical_page)
         way_hint = bank_request.way_hint
 
         if self.wdu is not None:
@@ -222,48 +249,58 @@ class MalecInterface(BaseL1Interface):
                 way_hint = prediction.way
 
         if bank_request.is_write:
-            outcome = self.hierarchy.l1.store(primary.physical_address, way_hint=way_hint)
+            reduced = self.hierarchy.l1.store_parts(
+                primary.physical_address, way_hint=way_hint
+            )[3]
             self.stats.bump(self._h_mbe_written)
-            self._account_way_prediction(way_hint, outcome)
+            self._account_way_prediction(way_hint, reduced)
             return completions
 
         # Loads: every serviced load (primary + merged) searches SB/MB with
-        # the split structures and shares the single bank access.
-        for request in [primary] + bank_request.merged:
-            request.attach_translation(translation.physical_page)
+        # the split structures and shares the single bank access.  (The
+        # primary's translation is already attached above.)
+        merged_requests = bank_request.merged
+        self._forwarding_lookups(primary.virtual_address, primary.size, split=True)
+        for request in merged_requests:
+            request.attach_translation(physical_page)
             self._forwarding_lookups(request.virtual_address, request.size, split=True)
 
-        outcome = self.hierarchy.l1.load(primary.physical_address, way_hint=way_hint)
+        hit, way, latency, reduced, _, _ = self.hierarchy.l1.load_parts(
+            primary.physical_address, way_hint=way_hint
+        )
         self.stats.bump(self._h_load_accesses)
-        self.stats.bump(self._h_loads_merged, len(bank_request.merged))
-        self._account_way_prediction(way_hint, outcome)
+        self.stats.bump(self._h_loads_merged, len(merged_requests))
+        self._account_way_prediction(way_hint, reduced)
 
-        if way_hint is None and outcome.hit:
+        if way_hint is None and hit:
             # Feedback path: conventional access hit although the prediction
             # was unknown — update the uWT via the last-entry register, or
             # train the WDU.
             if self.way_tables is not None:
                 self.way_tables.feedback_conventional_hit(
-                    primary.physical_address, outcome.way
+                    primary.physical_address, way
                 )
-            if self.wdu is not None and outcome.way is not None:
-                self.wdu.record(primary.physical_address, outcome.way)
+            if self.wdu is not None and way is not None:
+                self.wdu.record(primary.physical_address, way)
 
-        ready = cycle + translation.latency + outcome.latency
-        for request in [primary] + bank_request.merged:
+        ready = cycle + translation_latency + latency
+        if primary.tag is not None:
+            completions.append((primary.tag, ready))
+        for request in merged_requests:
             if request.tag is not None:
                 completions.append((request.tag, ready))
         return completions
 
-    def _account_way_prediction(self, way_hint: Optional[int], outcome) -> None:
+    def _account_way_prediction(self, way_hint: Optional[int], reduced: bool) -> None:
         """Coverage bookkeeping: each bank access is one prediction opportunity."""
         if self.way_determination == "none":
             return
-        self.stats.bump(self._h_way_lookup)
-        if way_hint is not None:
-            self.stats.bump(self._h_way_known)
-            if outcome.reduced:
-                self.stats.bump(self._h_reduced_access)
+        if way_hint is None:
+            self.stats.bump_many(self._combo_way_unknown)
+        elif reduced:
+            self.stats.bump_many(self._combo_way_reduced)
+        else:
+            self.stats.bump_many(self._combo_way_known)
 
     # ------------------------------------------------------------------
     # Reporting helpers

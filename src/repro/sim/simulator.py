@@ -28,6 +28,27 @@ from repro.stats import StatCounters
 from repro.tlb.tlb import TLBHierarchy
 
 
+#: per-process memo of energy models, keyed by the (frozen, hashable)
+#: simulation configuration.  A model is a pure function of the config —
+#: array specs, event map and the memoised access/leakage energies — so one
+#: instance can be shared by every Simulator of a sweep cell shape.
+_ENERGY_MODEL_CACHE: Dict[SimulationConfig, InterfaceEnergyModel] = {}
+
+_ENERGY_MODEL_CACHE_LIMIT = 512
+
+
+def _energy_model_for(config: SimulationConfig) -> InterfaceEnergyModel:
+    """Build (or fetch) the energy model of ``config``."""
+    model = _ENERGY_MODEL_CACHE.get(config)
+    if model is None:
+        if len(_ENERGY_MODEL_CACHE) >= _ENERGY_MODEL_CACHE_LIMIT:
+            _ENERGY_MODEL_CACHE.clear()
+        model = _ENERGY_MODEL_CACHE[config] = InterfaceEnergyModel(
+            config.energy_model_config()
+        )
+    return model
+
+
 def _guarded_ratio(numerator: float, denominator: float) -> float:
     """``numerator / denominator`` with the zero-denominator convention.
 
@@ -118,7 +139,9 @@ class Simulator:
             seed=config.seed,
         )
         self.interface = self._build_interface()
-        self.energy_model = InterfaceEnergyModel(config.energy_model_config())
+        # Energy models are immutable once built; memoised per configuration
+        # so a sweep builds each cell shape's model once, not once per cell.
+        self.energy_model = _energy_model_for(config)
         self.accountant = EnergyAccountant(self.energy_model)
 
     # ------------------------------------------------------------------
@@ -185,6 +208,10 @@ class Simulator:
                 if instruction.address is not None:
                     decompose(instruction.address)
         warmup_count = int(len(instructions) * warmup_fraction)
+        # Seq-indexed instruction facts, built once per trace and shared by
+        # the warm-up and measured pipelines of every configuration.
+        arrays = getattr(trace, "pipeline_arrays", None)
+        trace_arrays = arrays() if arrays is not None else None
         params = self._pipeline_parameters()
         # The cycle loop allocates short-lived objects at a rate that keeps
         # the cyclic collector busy for nothing (the simulator builds no
@@ -196,10 +223,10 @@ class Simulator:
                 warmup_pipeline = OutOfOrderPipeline(
                     self.interface, params=params, stats=self.stats
                 )
-                warmup_pipeline.run(instructions[:warmup_count])
+                warmup_pipeline.run(instructions[:warmup_count], trace_arrays)
                 self.stats.clear()
             pipeline = OutOfOrderPipeline(self.interface, params=params, stats=self.stats)
-            outcome = pipeline.run(instructions[warmup_count:])
+            outcome = pipeline.run(instructions[warmup_count:], trace_arrays)
         finally:
             if gc_was_enabled:
                 gc.enable()

@@ -164,9 +164,17 @@ class StatCounters:
         }
 
     def clear(self) -> None:
-        """Reset every counter to zero (issued handles stay valid)."""
-        self._values = [0.0] * len(self._values)
-        self._live = [False] * len(self._live)
+        """Reset every counter to zero (issued handles stay valid).
+
+        The reset happens *in place*: hot structures may cache references to
+        the value/liveness lists (see e.g. the interfaces' inlined bumps),
+        and those references must survive a warm-up discard.
+        """
+        values = self._values
+        live = self._live
+        for slot in range(len(values)):
+            values[slot] = 0.0
+            live[slot] = False
 
     def update_from(self, mapping: Mapping[str, float]) -> None:
         """Add the values of ``mapping`` into the counters."""

@@ -96,6 +96,7 @@ class TLB:
         self._policy = make_replacement_policy(replacement, entries, seed=seed)
         self._by_vpage: Dict[int, int] = {}
         self._by_ppage: Dict[int, int] = {}
+        self._valid_count = 0
         self._eviction_callbacks: List[EvictionCallback] = []
         # Per-access counters resolved to integer slots once (hot path); the
         # f-string name construction otherwise runs on every lookup.
@@ -192,14 +193,19 @@ class TLB:
             self._policy.touch(existing)
             return existing
 
-        valid_mask = [entry.valid for entry in self._slots]
-        slot = self._policy.victim(valid_mask)
+        if self._valid_count >= self.entries:
+            # Steady state: every slot valid, skip building the mask.
+            slot = self._policy.victim_full()
+        else:
+            slot = self._policy.victim([entry.valid for entry in self._slots])
         old = self._slots[slot]
         new = TLBEntry(valid=True, virtual_page=virtual_page, physical_page=physical_page)
         if old.valid:
             self.stats.bump(self._h_eviction)
             self._by_vpage.pop(old.virtual_page, None)
             self._by_ppage.pop(old.physical_page, None)
+        else:
+            self._valid_count += 1
         for callback in self._eviction_callbacks:
             callback(slot, old, new)
         self._slots[slot] = new
@@ -214,6 +220,7 @@ class TLB:
         self._slots = [TLBEntry() for _ in range(self.entries)]
         self._by_vpage.clear()
         self._by_ppage.clear()
+        self._valid_count = 0
 
 
 class TLBHierarchy:
@@ -271,9 +278,15 @@ class TLBHierarchy:
         vpage = parts.page_id
         offset = parts.page_offset
 
-        slot = self.utlb.lookup(vpage)
+        # Inlined uTLB hit path (the overwhelmingly common case): one dict
+        # probe, the hit-counter combo and the second-chance reference bit —
+        # exactly what utlb.lookup() + slot() would do, without the calls.
+        utlb = self.utlb
+        slot = utlb._by_vpage.get(vpage)
         if slot is not None:
-            ppage = self.utlb.slot(slot).physical_page
+            self.stats.bump_many(utlb._combo_hit)
+            utlb._policy.touch(slot)
+            ppage = utlb._slots[slot].physical_page
             return TranslationResult(
                 virtual_page=vpage,
                 physical_page=ppage,
@@ -282,6 +295,7 @@ class TLBHierarchy:
                 tlb_hit=True,
                 latency=0,
             )
+        self.stats.bump_many(utlb._combo_miss)
 
         tlb_slot = self.tlb.lookup(vpage)
         if tlb_slot is not None:
@@ -308,6 +322,84 @@ class TLBHierarchy:
             tlb_hit=False,
             latency=self.walk_latency,
         )
+
+    def translate_pair(self, virtual_address: int):
+        """Translate, returning only ``(physical_address, latency)``.
+
+        Identical state changes and statistics to :meth:`translate`, without
+        the :class:`TranslationResult` allocation — the per-load path of the
+        interface models only consumes these two fields.
+        """
+        parts = self.layout.decompose(virtual_address)
+        vpage = parts.page_id
+        offset = parts.page_offset
+        utlb = self.utlb
+        slot = utlb._by_vpage.get(vpage)
+        if slot is not None:
+            self.stats.bump_many(utlb._combo_hit)
+            utlb._policy.touch(slot)
+            return ((utlb._slots[slot].physical_page << self._page_shift) | offset, 0)
+        self.stats.bump_many(utlb._combo_miss)
+        tlb_slot = self.tlb.lookup(vpage)
+        if tlb_slot is not None:
+            ppage = self.tlb.slot(tlb_slot).physical_page
+            self.utlb.insert(vpage, ppage)
+            return ((ppage << self._page_shift) | offset, 1)
+        ppage = self.page_table.translate_page(vpage)
+        self.stats.bump(self._h_walk)
+        self.tlb.insert(vpage, ppage)
+        self.utlb.insert(vpage, ppage)
+        return ((ppage << self._page_shift) | offset, self.walk_latency)
+
+    def translate_page_pair(self, virtual_page: int):
+        """Translate a bare page id, returning ``(physical_page, latency)``.
+
+        The MALEC interface translates once per page group and only needs
+        the physical page id and the added latency.
+        """
+        utlb = self.utlb
+        slot = utlb._by_vpage.get(virtual_page)
+        if slot is not None:
+            self.stats.bump_many(utlb._combo_hit)
+            utlb._policy.touch(slot)
+            return (utlb._slots[slot].physical_page, 0)
+        self.stats.bump_many(utlb._combo_miss)
+        tlb_slot = self.tlb.lookup(virtual_page)
+        if tlb_slot is not None:
+            ppage = self.tlb.slot(tlb_slot).physical_page
+            self.utlb.insert(virtual_page, ppage)
+            return (ppage, 1)
+        ppage = self.page_table.translate_page(virtual_page)
+        self.stats.bump(self._h_walk)
+        self.tlb.insert(virtual_page, ppage)
+        self.utlb.insert(virtual_page, ppage)
+        return (ppage, self.walk_latency)
+
+    def translate_probe(self, virtual_address: int) -> None:
+        """Perform a translation purely for its side effects.
+
+        Identical state changes and statistics to :meth:`translate` (uTLB/TLB
+        refills, walks, counters) without building a
+        :class:`TranslationResult`.  The baselines use this for stores, whose
+        translation result is discarded — one fewer allocation per store.
+        """
+        vpage = self.layout.decompose(virtual_address).page_id
+        utlb = self.utlb
+        slot = utlb._by_vpage.get(vpage)
+        if slot is not None:
+            self.stats.bump_many(utlb._combo_hit)
+            utlb._policy.touch(slot)
+            return
+        self.stats.bump_many(utlb._combo_miss)
+        tlb_slot = self.tlb.lookup(vpage)
+        if tlb_slot is not None:
+            ppage = self.tlb.slot(tlb_slot).physical_page
+            self.utlb.insert(vpage, ppage)
+            return
+        ppage = self.page_table.translate_page(vpage)
+        self.stats.bump(self._h_walk)
+        self.tlb.insert(vpage, ppage)
+        self.utlb.insert(vpage, ppage)
 
     def translate_page(self, virtual_page: int) -> TranslationResult:
         """Translate a bare virtual page id (offset 0)."""

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
 
-from repro.cpu.instruction import Instruction, InstructionKind
+from repro.cpu.instruction import Instruction, InstructionKind, build_pipeline_arrays
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
 
 
@@ -79,14 +79,99 @@ class MemoryTrace:
         decomposition per distinct address per layout instead of one per
         access per structure.  Returns the number of memory references seen.
         """
-        decompose = (layout if layout is not None else self.layout).decompose
+        target = layout if layout is not None else self.layout
+        warmed = getattr(self, "_warmed_layouts", None)
+        if warmed is None:
+            warmed = self._warmed_layouts = {}
+        marker = id(target)
+        previous = warmed.get(marker)
+        if previous is not None and previous[0] is target:
+            # This exact layout object was already warmed for this trace; a
+            # campaign runs one shared trace through many configurations, so
+            # the walk would only re-hit the memo.  (Keyed by identity: the
+            # memo lives on the layout instance itself.)
+            return previous[1]
+        decompose = target.decompose
         count = 0
         for instruction in self.instructions:
             address = instruction.address
             if address is not None:
                 decompose(address)
                 count += 1
+        warmed[marker] = (target, count)
         return count
+
+    # ------------------------------------------------------------------
+    # Pipeline-ready arrays (seq-indexed, cached)
+    # ------------------------------------------------------------------
+    def pipeline_arrays(self):
+        """Seq-indexed ``(kinds, addresses, sizes, producers)`` arrays.
+
+        ``kinds[seq]`` is 0/1/2 for compute/load/store, ``producers[seq]``
+        the tuple of absolute producer seqs (in-range only).  The pipeline
+        reads these instead of per-instruction attributes; they are built
+        once per trace and cached, so a campaign running one trace through
+        many configurations (plus warm-up slices — the arrays cover the full
+        seq space, any slice indexes into them) pays the pass exactly once.
+        Invalidated when the trace grows.
+        """
+        cached = getattr(self, "_pipeline_arrays", None)
+        if cached is not None and cached[0] == len(self.instructions):
+            return cached[1]
+        count = len(self.instructions)
+        arrays = build_pipeline_arrays(self.instructions, count)
+        self._pipeline_arrays = (count, arrays)
+        return arrays
+
+    # ------------------------------------------------------------------
+    # Compact binary form (campaign worker shipping)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize the trace to compact bytes for cross-process shipping.
+
+        The campaign executor pre-generates every benchmark trace once in
+        the parent and ships these bytes to pool workers (instead of every
+        worker regenerating the trace from the profile).  Plain tuples are
+        pickled — no live objects — so the payload stays small and decoding
+        is a tight C loop plus one :class:`Instruction` construction per
+        record.
+        """
+        import pickle
+
+        header = {
+            "name": self.name,
+            "suite": self.suite,
+            "layout": {
+                "address_bits": self.layout.address_bits,
+                "page_bytes": self.layout.page_bytes,
+                "line_bytes": self.layout.line_bytes,
+                "l1_capacity_bytes": self.layout.l1_capacity_bytes,
+                "l1_associativity": self.layout.l1_associativity,
+                "l1_banks": self.layout.l1_banks,
+                "subblock_bytes": self.layout.subblock_bytes,
+            },
+        }
+        records = [
+            (i.kind.value, i.address, i.size, i.deps) for i in self.instructions
+        ]
+        return pickle.dumps((header, records), protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "MemoryTrace":
+        """Rebuild a trace serialized by :meth:`to_bytes`."""
+        import pickle
+
+        header, records = pickle.loads(payload)
+        instructions = [
+            Instruction(kind=InstructionKind(kind), address=address, size=size, deps=deps)
+            for kind, address, size, deps in records
+        ]
+        return cls(
+            name=header["name"],
+            instructions=instructions,
+            suite=header.get("suite", ""),
+            layout=AddressLayout(**header["layout"]),
+        )
 
     # ------------------------------------------------------------------
     # On-disk JSONL format (worker/user trace caching)

@@ -10,7 +10,9 @@ from repro.bench import (
     BENCH_PREFIX,
     SCHEMA_VERSION,
     compare_reports,
+    default_output_dir,
     detect_revision,
+    find_regressions,
     format_report,
     run_benchmarks,
     write_report,
@@ -21,6 +23,7 @@ EXPECTED_SCENARIOS = {
     "trace_generation",
     "single_config_run",
     "fig4_mini_sweep",
+    "fig4_mini_sweep_serial",
     "figure4_gzip_djpeg_mcf",
 }
 
@@ -88,6 +91,68 @@ class TestReportFiles:
     def test_compare_reports_skips_unknown_scenarios(self, quick_report):
         text = compare_reports({"label": "b", "scenarios": {}}, quick_report)
         assert text.splitlines() == [f"speedup b -> {quick_report['label']}"]
+
+
+class TestCompareGate:
+    def _shifted(self, report, factor, label):
+        copy = json.loads(json.dumps(report))
+        copy["label"] = label
+        for scenario in copy["scenarios"].values():
+            scenario["seconds"] = scenario["seconds"] * factor
+        return copy
+
+    def test_find_regressions_flags_slowdowns(self, quick_report):
+        slower = self._shifted(quick_report, 1.5, "slower")
+        hits = find_regressions(quick_report, slower, threshold_pct=20.0)
+        assert len(hits) == len(quick_report["scenarios"])
+        assert all("slower" in line for line in hits)
+
+    def test_find_regressions_respects_threshold(self, quick_report):
+        slower = self._shifted(quick_report, 1.1, "slower")
+        assert find_regressions(quick_report, slower, threshold_pct=20.0) == []
+
+    def test_find_regressions_ignores_new_scenarios(self, quick_report):
+        before = json.loads(json.dumps(quick_report))
+        del before["scenarios"]["fig4_mini_sweep_serial"]
+        slower = self._shifted(quick_report, 3.0, "slower")
+        hits = find_regressions(before, slower, threshold_pct=20.0)
+        assert not any("fig4_mini_sweep_serial" in line for line in hits)
+
+    def test_two_file_compare_passes_and_fails(self, quick_report, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(quick_report))
+        new.write_text(json.dumps(self._shifted(quick_report, 1.5, "slow")))
+        # Within a generous threshold: success.
+        assert main(["bench", "--compare", str(old), str(new), "--threshold", "60"]) == 0
+        # Default 20% gate: the 50% slowdown fails the build.
+        assert main(["bench", "--compare", str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "regression beyond threshold" in out
+        # Speedups never fail, whatever the direction of the file arguments.
+        assert main(["bench", "--compare", str(new), str(old)]) == 0
+
+    def test_two_file_compare_runs_nothing(self, quick_report, tmp_path):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(quick_report))
+        # Comparing a report against itself: no benchmarks run (instant), 0.
+        assert main(["bench", "--compare", str(old), str(old)]) == 0
+
+    def test_more_than_two_files_rejected(self, quick_report, tmp_path):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(quick_report))
+        assert main(["bench", "--compare", str(old), str(old), str(old)]) == 2
+
+    def test_default_output_dir_is_repo_anchored(self):
+        path = default_output_dir()
+        assert path.parts[-2:] == ("benchmarks", "perf")
+        # In this checkout the repository root is resolvable.
+        assert path.is_absolute()
+
+    def test_output_override_writes_exact_path(self, quick_report, tmp_path):
+        target = tmp_path / "nested" / "exact.json"
+        path = write_report(quick_report, tmp_path, out_file=target)
+        assert path == target and target.exists()
 
 
 class TestBenchCli:
