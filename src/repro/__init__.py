@@ -20,7 +20,10 @@ This package implements the complete system in Python:
 * :mod:`repro.energy` — a CACTI-like analytic energy model;
 * :mod:`repro.workloads` — synthetic SPEC CPU2000 / MediaBench2 stand-ins;
 * :mod:`repro.sim` and :mod:`repro.analysis` — the simulator, experiment
-  runner and locality analyses behind every figure and table of the paper.
+  runner and locality analyses behind every figure and table of the paper;
+* :mod:`repro.campaign` and :mod:`repro.dse` — the scale layers: parallel,
+  resumable sweep campaigns and design-space exploration with Pareto
+  frontiers over the energy/performance plane.
 
 Quick start::
 
@@ -56,6 +59,7 @@ from repro.campaign import (
     results_from_store,
     summarize_store,
 )
+from repro.dse import DseResult, SearchSpace, run_dse, space_preset
 
 __version__ = "1.0.0"
 

@@ -17,7 +17,13 @@ from repro.analysis.experiments import (
     ExperimentRunner,
     ExperimentResults,
 )
-from repro.analysis.reporting import format_table, geometric_mean, normalize
+from repro.analysis.reporting import (
+    format_frontier,
+    format_table,
+    frontier_csv,
+    geometric_mean,
+    normalize,
+)
 
 __all__ = [
     "LocalityReport",
@@ -26,7 +32,9 @@ __all__ = [
     "BenchmarkRun",
     "ExperimentRunner",
     "ExperimentResults",
+    "format_frontier",
     "format_table",
+    "frontier_csv",
     "geometric_mean",
     "normalize",
 ]

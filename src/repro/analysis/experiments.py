@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.analysis.reporting import geometric_mean
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import SimulationResult
-from repro.workloads.suites import ALL_BENCHMARKS, SUITES, benchmark_profile
+from repro.workloads.suites import ALL_BENCHMARKS, ALL_SUITES, benchmark_profile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import MemoryTrace
 
@@ -74,7 +74,7 @@ class ExperimentResults:
     def suites(self) -> List[str]:
         """Suites present in the sweep, in canonical order."""
         present = {run.suite for run in self.runs}
-        return [suite for suite in SUITES if suite in present]
+        return [suite for suite in ALL_SUITES if suite in present]
 
     # ------------------------------------------------------------------
     def geomean_normalized_cycles(

@@ -8,8 +8,10 @@ benchmark target can print the same rows the paper plots.
 
 from __future__ import annotations
 
+import csv
+import io
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -59,3 +61,66 @@ def format_table(
         if index == 0:
             lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Design-space frontier reports
+# ----------------------------------------------------------------------
+def _frontier_rows(candidates, ranks):
+    """Shared row shape of the text and CSV frontier reports.
+
+    ``candidates`` are evaluated DSE candidates (duck-typed: ``assignment``
+    pairs, ``objective_keys``, ``values``, ``instructions`` and ``name``);
+    all candidates of one report share the same dimensions and objectives.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return [], []
+    dimension_names = [name for name, _ in candidates[0].assignment]
+    objective_keys = list(candidates[0].objective_keys)
+    headers = dimension_names + objective_keys + ["instructions"]
+    if ranks is not None:
+        headers.append("rank")
+    rows = []
+    for candidate in candidates:
+        row = [value for _, value in candidate.assignment]
+        row += list(candidate.values)
+        row.append(candidate.instructions)
+        if ranks is not None:
+            row.append(ranks.get(candidate.name, ""))
+        rows.append(row)
+    return headers, rows
+
+
+def format_frontier(
+    candidates, ranks: Optional[Mapping[str, int]] = None
+) -> str:
+    """Aligned text table of a (ranked) Pareto frontier.
+
+    One row per candidate: its dimension assignment, its objective values
+    and the trace length it was judged at; with ``ranks`` (candidate name
+    -> dominance rank) a rank column is appended.  Used by ``repro dse``
+    and the examples.
+    """
+    headers, rows = _frontier_rows(candidates, ranks)
+    if not rows:
+        return "frontier is empty"
+    return format_table(headers, rows, float_format="{:.4f}")
+
+
+def frontier_csv(
+    candidates, ranks: Optional[Mapping[str, int]] = None
+) -> str:
+    """CSV rendition of :func:`format_frontier` (header + one row per point).
+
+    Floats are written with ``repr``-exact round-tripping (``csv`` uses
+    ``str``, which is shortest-exact for Python floats), so a frontier
+    artifact can be compared byte-for-byte across runs.
+    """
+    headers, rows = _frontier_rows(candidates, ranks)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers if headers else ["empty"])
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

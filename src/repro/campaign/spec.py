@@ -40,7 +40,11 @@ from repro.sim.config import (
     SimulationConfig,
     TLBParameters,
 )
-from repro.workloads.suites import ALL_BENCHMARKS, SUITES, benchmark_profile
+from repro.workloads.suites import (
+    ALL_BENCHMARKS,
+    LOCALITY_DIVERSE_BENCHMARKS,
+    benchmark_profile,
+)
 
 
 # ----------------------------------------------------------------------
@@ -220,8 +224,10 @@ class CampaignSpec:
 #: one representative benchmark per suite, used by the quick presets
 _MINI_BENCHMARKS = ("gzip", "swim", "djpeg")
 
-#: locality-diverse subset used by the Sec. VI-D sensitivity grids
-_SEC6D_BENCHMARKS = ("gzip", "mcf", "art", "djpeg", "h263dec")
+#: locality-diverse subset used by the Sec. VI-D sensitivity grids: the
+#: paper's picks plus the two synthetic locality extremes (``ptrchase``,
+#: ``streamwrite``), shared with the DSE space presets
+_SEC6D_BENCHMARKS = LOCALITY_DIVERSE_BENCHMARKS
 
 
 def _fig4() -> CampaignSpec:

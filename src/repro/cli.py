@@ -19,6 +19,16 @@ directory layout):
     benchmark) cell is persisted as one JSON record and a repeated
     invocation resumes — already-completed cells are skipped.
 
+``dse``
+    Explore a named configuration search space (``malec-mini``,
+    ``malec-sensitivity``) with a pluggable strategy (``grid``, ``random``,
+    ``halving``) and print the Pareto frontier over the selected objectives
+    (normalized runtime, L1-subsystem energy, energy-delay product).  All
+    evaluations flow through the campaign store (``--out DIR``), so an
+    interrupted exploration resumes and strategies dedupe each other's
+    cells; ``--csv FILE`` (default ``<out>/frontier.csv``) writes the
+    frontier artifact.
+
 ``locality``
     Print the Sec. III / Fig. 1 page- and line-locality statistics of one or
     more benchmarks.
@@ -37,6 +47,8 @@ Examples::
     python -m repro figure4 gzip djpeg mcf --instructions 4000
     python -m repro sweep fig4 --out results/fig4
     python -m repro sweep sec6d --jobs 2 --out results/sec6d
+    python -m repro dse malec-mini --strategy random --budget 6 --instructions 500
+    python -m repro dse malec-sensitivity --strategy halving --budget 24 --out results/dse
     python -m repro locality h263dec swim
     python -m repro bench --quick
     python -m repro bench --compare BENCH_old.json BENCH_new.json --threshold 20
@@ -47,18 +59,27 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.locality import PageLocalityAnalyzer
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_frontier, format_table, frontier_csv
 from repro.campaign.aggregate import summarize_results, summarize_store
 from repro.campaign.executor import ParallelExecutor
 from repro.campaign.spec import PRESET_NAMES, campaign_preset
 from repro.campaign.store import ResultStore
+from repro.dse.engine import run_dse
+from repro.dse.objectives import (
+    DEFAULT_OBJECTIVES,
+    OBJECTIVE_NAMES,
+    resolve_objectives,
+)
+from repro.dse.space import SPACE_PRESET_NAMES, space_preset
+from repro.dse.strategies import STRATEGY_NAMES
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import run_configuration
-from repro.workloads.suites import ALL_BENCHMARKS, benchmark_profile
+from repro.workloads.suites import EXTENDED_BENCHMARKS, benchmark_profile
 from repro.workloads.synthetic import generate_trace
 
 _FIG4_ORDER = ["Base1ldst", "Base2ld1st_1cycleL1", "Base2ld1st", "MALEC", "MALEC_3cycleL1"]
@@ -103,13 +124,13 @@ def _build_parser() -> argparse.ArgumentParser:
     compare = commands.add_parser(
         "compare", help="compare the three interfaces on one benchmark"
     )
-    compare.add_argument("benchmark", choices=sorted(ALL_BENCHMARKS))
+    compare.add_argument("benchmark", choices=sorted(EXTENDED_BENCHMARKS))
     _add_common_options(compare)
 
     figure4 = commands.add_parser(
         "figure4", help="run the five Fig. 4 configurations over benchmarks"
     )
-    figure4.add_argument("benchmarks", nargs="+", choices=sorted(ALL_BENCHMARKS))
+    figure4.add_argument("benchmarks", nargs="+", choices=sorted(EXTENDED_BENCHMARKS))
     _add_common_options(figure4)
     figure4.add_argument(
         "--jobs",
@@ -121,11 +142,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = commands.add_parser(
         "sweep", help="run a campaign preset through the parallel sweep engine"
     )
-    sweep.add_argument("preset", choices=list(PRESET_NAMES))
+    # Unknown preset names are resolved (and rejected with the list of valid
+    # presets) in _cmd_sweep, so they exit(2) without a traceback.
+    sweep.add_argument(
+        "preset",
+        metavar="preset",
+        help=f"campaign preset: one of {', '.join(PRESET_NAMES)}",
+    )
     sweep.add_argument(
         "--benchmarks",
         nargs="+",
-        choices=sorted(ALL_BENCHMARKS),
+        choices=sorted(EXTENDED_BENCHMARKS),
         default=None,
         help="restrict the preset to these benchmarks (default: preset's grid)",
     )
@@ -158,10 +185,91 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress output"
     )
 
+    dse = commands.add_parser(
+        "dse",
+        help="explore a configuration search space; print the Pareto frontier",
+    )
+    # Unknown space names are resolved (and rejected with the list of valid
+    # presets) in _cmd_dse, so they exit(2) without a traceback.
+    dse.add_argument(
+        "space",
+        metavar="space",
+        help=f"search-space preset: one of {', '.join(SPACE_PRESET_NAMES)}",
+    )
+    dse.add_argument(
+        "--strategy",
+        choices=list(STRATEGY_NAMES),
+        default="grid",
+        help="search strategy (default: grid)",
+    )
+    dse.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="maximum number of candidate configurations (default: the "
+        "strategy's own default; grid sweeps the whole space)",
+    )
+    dse.add_argument(
+        "--objectives",
+        default=",".join(DEFAULT_OBJECTIVES),
+        metavar="KEYS",
+        help="comma-separated minimized objectives, from: "
+        f"{', '.join(OBJECTIVE_NAMES)} (default: %(default)s)",
+    )
+    dse.add_argument(
+        "--benchmarks",
+        nargs="+",
+        choices=sorted(EXTENDED_BENCHMARKS),
+        default=None,
+        help="restrict the space to these benchmarks (default: space's subset)",
+    )
+    dse.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=None,
+        help="override the space's full-length trace size",
+    )
+    dse.add_argument(
+        "--warmup",
+        type=_warmup_fraction,
+        default=None,
+        help="override the space's warm-up fraction",
+    )
+    dse.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the evaluations (default: one per CPU core)",
+    )
+    dse.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="sampling seed for random/halving strategies (default: 0)",
+    )
+    dse.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="campaign directory: persist every evaluated cell, resume "
+        "interrupted explorations and dedupe across strategies "
+        "(default: in-memory only)",
+    )
+    dse.add_argument(
+        "--csv",
+        default=None,
+        metavar="FILE",
+        help="write the frontier as CSV to FILE "
+        "(default: <out>/frontier.csv when --out is given)",
+    )
+    dse.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
+
     locality = commands.add_parser(
         "locality", help="print Sec. III / Fig. 1 locality statistics"
     )
-    locality.add_argument("benchmarks", nargs="+", choices=sorted(ALL_BENCHMARKS))
+    locality.add_argument("benchmarks", nargs="+", choices=sorted(EXTENDED_BENCHMARKS))
     locality.add_argument("--instructions", type=int, default=5000)
 
     bench = commands.add_parser(
@@ -242,7 +350,7 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 def _cmd_list() -> int:
     rows = []
-    for name in ALL_BENCHMARKS:
+    for name in EXTENDED_BENCHMARKS:
         profile = benchmark_profile(name)
         rows.append([name, profile.suite, profile.memory_fraction, len(profile.streams)])
     print(format_table(["benchmark", "suite", "mem fraction", "streams"], rows))
@@ -282,16 +390,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    spec = campaign_preset(args.preset).with_overrides(
-        benchmarks=args.benchmarks,
-        instructions=args.instructions,
-        warmup_fraction=args.warmup,
-    )
-    store = ResultStore(args.out) if args.out is not None else None
+def _cell_progress(quiet: bool):
+    """Per-cell progress printer shared by ``sweep`` and ``dse``."""
 
     def progress(event: str, cell, done: int, total: int) -> None:
-        if args.quiet:
+        if quiet:
             return
         label = "skip" if event == "skipped" else "run "
         print(
@@ -299,7 +402,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    executor = ParallelExecutor(jobs=args.jobs, store=store, progress=progress)
+    return progress
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        preset = campaign_preset(args.preset)
+    except KeyError as error:
+        # The raised message already names the valid presets; exit like any
+        # other usage error (2) instead of surfacing a traceback.
+        print(f"repro: {error.args[0]}", file=sys.stderr)
+        return 2
+    spec = preset.with_overrides(
+        benchmarks=args.benchmarks,
+        instructions=args.instructions,
+        warmup_fraction=args.warmup,
+    )
+    store = ResultStore(args.out) if args.out is not None else None
+
+    executor = ParallelExecutor(
+        jobs=args.jobs, store=store, progress=_cell_progress(args.quiet)
+    )
     results = executor.run(spec)
     ran, skipped = len(executor.completed_cells), len(executor.skipped_cells)
     print(
@@ -325,6 +448,64 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print()
         print(summarize_results(results, baseline=baseline))
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    try:
+        space = space_preset(args.space)
+    except KeyError as error:
+        print(f"repro: {error.args[0]}", file=sys.stderr)
+        return 2
+    space = space.with_overrides(
+        benchmarks=args.benchmarks,
+        instructions=args.instructions,
+        warmup_fraction=args.warmup,
+    )
+    objectives = tuple(key.strip() for key in args.objectives.split(",") if key.strip())
+    try:
+        # Usage errors only: validate the objective keys up front so that a
+        # ValueError escaping run_dse below is a genuine engine failure with
+        # a traceback, not a silent exit(2).
+        resolve_objectives(objectives)
+    except ValueError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.out) if args.out is not None else None
+    result = run_dse(
+        space,
+        strategy=args.strategy,
+        objectives=objectives,
+        budget=args.budget,
+        jobs=args.jobs,
+        store=store,
+        seed=args.seed,
+        progress=_cell_progress(args.quiet),
+    )
+
+    print(
+        f"space '{space.name}': {space.size} points, strategy {result.strategy}, "
+        f"{len(result.pool)} candidate(s) at full length "
+        f"({len(result.evaluations)} evaluation(s) total)"
+    )
+    print(
+        f"cells: {result.cells_simulated} simulated, {result.cells_resumed} "
+        f"resumed from store"
+    )
+    if store is not None:
+        print(f"results: {store.root} ({len(store)} records)")
+    print()
+    print(f"Pareto frontier ({len(result.frontier)} point(s), all objectives minimized):")
+    print(format_frontier(result.frontier, result.ranks))
+
+    csv_path = args.csv
+    if csv_path is None and args.out is not None:
+        csv_path = str(Path(args.out) / "frontier.csv")
+    if csv_path is not None:
+        payload = frontier_csv(result.frontier, result.ranks)
+        Path(csv_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(csv_path).write_text(payload)
+        print(f"\nfrontier written to {csv_path}")
     return 0
 
 
@@ -387,6 +568,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure4(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "dse":
+        return _cmd_dse(args)
     if args.command == "locality":
         return _cmd_locality(args)
     if args.command == "bench":

@@ -1,0 +1,226 @@
+"""The DSE engine: evaluate candidates through the campaign layer, extract
+Pareto frontiers over the energy/performance plane.
+
+:func:`run_dse` is the one entry point behind the ``repro dse`` CLI, the
+examples and the tests.  Evaluation batches are expressed as ordinary
+:class:`~repro.campaign.spec.CampaignSpec` grids — the space's baseline
+configuration plus the scheduled candidates over the space's benchmarks —
+and executed by :class:`~repro.campaign.executor.ParallelExecutor`, so:
+
+* ``jobs`` fans each batch out over worker processes;
+* an attached :class:`~repro.campaign.store.ResultStore` persists every
+  cell under its content-hash key, which makes exploration resumable after
+  an interrupt and deduplicates evaluations *across strategies* (a halving
+  rung, a random sample and a grid sweep that touch the same cell all share
+  one record);
+* results are bit-identical for any job count, so the extracted frontier is
+  a pure function of (space, strategy, seed, budget, objectives).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.executor import ParallelExecutor, ProgressCallback
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.dse.objectives import DEFAULT_OBJECTIVES, Objective, resolve_objectives
+from repro.dse.pareto import ParetoPoint, frontier_and_ranks
+from repro.dse.space import SearchSpace, format_value
+from repro.dse.strategies import (
+    EvaluatedCandidate,
+    SearchStrategy,
+    strategy_by_name,
+)
+
+
+class Evaluator:
+    """Turns (space indices, trace length) into evaluated candidates.
+
+    One evaluator is shared by all rungs of a search, accumulating the
+    simulated/resumed cell counts across batches.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objectives: Sequence[Objective],
+        jobs: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.space = space
+        self.objectives = tuple(objectives)
+        self.jobs = jobs
+        self.store = store
+        self.progress = progress
+        self.simulated = 0
+        self.resumed = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, indices: Sequence[int], instructions: int
+    ) -> List[EvaluatedCandidate]:
+        """Evaluate the given space points on traces of ``instructions``.
+
+        The baseline configuration rides along in every batch (its cells
+        dedupe through the store), so objectives always normalize against
+        a baseline simulated at the same trace length.
+        """
+        space = self.space
+        candidates = space.candidates(indices)
+        spec = CampaignSpec(
+            name=f"dse-{space.name}",
+            configurations=(space.baseline,) + tuple(c.config for c in candidates),
+            benchmarks=space.benchmarks,
+            instructions=instructions,
+            warmup_fraction=space.warmup_fraction,
+            seed=space.seed,
+        )
+        executor = ParallelExecutor(
+            jobs=self.jobs, store=self.store, progress=self.progress
+        )
+        results = executor.run(spec)
+        self.simulated += len(executor.completed_cells)
+        self.resumed += len(executor.skipped_cells)
+        self.batches += 1
+
+        baseline = {
+            run.benchmark: run.results[space.baseline.name] for run in results.runs
+        }
+        keys = tuple(objective.key for objective in self.objectives)
+        evaluated = []
+        for candidate in candidates:
+            per_benchmark = {
+                run.benchmark: run.results[candidate.name] for run in results.runs
+            }
+            values = tuple(
+                objective.evaluate(per_benchmark, baseline)
+                for objective in self.objectives
+            )
+            evaluated.append(
+                EvaluatedCandidate(
+                    index=candidate.index,
+                    name=candidate.name,
+                    assignment=candidate.assignment,
+                    instructions=instructions,
+                    objective_keys=keys,
+                    values=values,
+                )
+            )
+        return evaluated
+
+
+@dataclass
+class DseResult:
+    """Everything one design-space exploration produced."""
+
+    space: SearchSpace
+    strategy: str
+    objective_keys: Tuple[str, ...]
+    #: every evaluation performed, in schedule order (all rungs)
+    evaluations: List[EvaluatedCandidate] = field(default_factory=list)
+    #: full-trace-length evaluations eligible for the frontier, index order
+    pool: List[EvaluatedCandidate] = field(default_factory=list)
+    #: the non-dominated subset of ``pool``, deterministic order
+    frontier: List[EvaluatedCandidate] = field(default_factory=list)
+    #: dominance rank (0 = frontier) of every pool candidate, by name
+    ranks: Dict[str, int] = field(default_factory=dict)
+    #: cells freshly simulated / loaded from the store across all batches
+    cells_simulated: int = 0
+    cells_resumed: int = 0
+
+    def describe(self) -> dict:
+        """JSON-able manifest of the exploration (stored as ``dse.json``)."""
+        return {
+            "space": self.space.describe(),
+            "strategy": self.strategy,
+            "objectives": list(self.objective_keys),
+            "evaluations": len(self.evaluations),
+            "pool": len(self.pool),
+            "frontier": [
+                {
+                    "name": candidate.name,
+                    # format_value: enum-valued dimensions (e.g. the
+                    # interface kind) must stay JSON-serializable here.
+                    "assignment": {
+                        key: format_value(value)
+                        for key, value in candidate.assignment
+                    },
+                    "objectives": candidate.objectives,
+                }
+                for candidate in self.frontier
+            ],
+            "cells_simulated": self.cells_simulated,
+            "cells_resumed": self.cells_resumed,
+        }
+
+
+def extract_frontier(
+    pool: Sequence[EvaluatedCandidate],
+) -> Tuple[List[EvaluatedCandidate], Dict[str, int]]:
+    """Frontier and dominance ranks of full-length evaluations.
+
+    Points enter the dominance computation sorted by space index, so the
+    outcome is independent of the order strategies delivered them.  The
+    frontier is rank 0 of the non-dominated sort (one dominance pass),
+    presented in :func:`~repro.dse.pareto.pareto_frontier`'s deterministic
+    (values, label) order.
+    """
+    ordered = sorted(pool, key=lambda candidate: candidate.index)
+    points = [
+        ParetoPoint(label=c.name, values=c.values, payload=c) for c in ordered
+    ]
+    frontier, ranks = frontier_and_ranks(points)
+    return [point.payload for point in frontier], ranks
+
+
+def run_dse(
+    space: SearchSpace,
+    strategy: str = "grid",
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    budget: Optional[int] = None,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    seed: int = 0,
+    progress: Optional[ProgressCallback] = None,
+) -> DseResult:
+    """Explore ``space`` and return its Pareto frontier.
+
+    Parameters mirror the ``repro dse`` CLI: ``strategy`` is one of
+    ``grid``/``random``/``halving``, ``budget`` caps the number of
+    candidates, ``jobs``/``store`` are forwarded to the campaign executor
+    (making the search parallel and resumable), and ``seed`` feeds the
+    sampling strategies.  The returned frontier is bit-identical for any
+    ``jobs`` value and across interrupt/resume cycles of the same store.
+    """
+    resolved = resolve_objectives(tuple(objectives))
+    search: SearchStrategy = (
+        strategy if isinstance(strategy, SearchStrategy) else strategy_by_name(strategy, seed=seed)
+    )
+    evaluator = Evaluator(
+        space, resolved, jobs=jobs, store=store, progress=progress
+    )
+    pool, trail = search.run(space, evaluator, budget=budget)
+    pool = sorted(pool, key=lambda candidate: candidate.index)
+    frontier, ranks = extract_frontier(pool)
+    result = DseResult(
+        space=space,
+        strategy=search.key,
+        objective_keys=tuple(objective.key for objective in resolved),
+        evaluations=trail,
+        pool=pool,
+        frontier=frontier,
+        ranks=ranks,
+        cells_simulated=evaluator.simulated,
+        cells_resumed=evaluator.resumed,
+    )
+    if store is not None:
+        manifest_path = store.root / "dse.json"
+        tmp = manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result.describe(), indent=1, sort_keys=True))
+        tmp.replace(manifest_path)
+    return result

@@ -1,0 +1,242 @@
+"""Search strategies: which points to evaluate, at which trace length.
+
+Every strategy consumes an *evaluator* (see :class:`repro.dse.engine.Evaluator`)
+that turns a list of space indices plus a trace length into
+:class:`EvaluatedCandidate` objects, running the underlying simulations
+through the campaign executor and store.  Strategies only decide scheduling;
+they never touch simulation state, so any strategy is resumable and
+dedupe-friendly for free.
+
+* :class:`GridSearch` exhaustively sweeps the space (optionally capped by a
+  budget) at full trace length.
+* :class:`RandomSearch` samples ``budget`` distinct points with a seeded RNG
+  and evaluates them at full length.
+* :class:`SuccessiveHalving` samples ``budget`` points, evaluates them on a
+  short trace prefix, keeps the best ``1/eta`` — ordered by Pareto dominance
+  rank, then scalarized score, and never fewer than the rung's non-dominated
+  front — and re-evaluates the survivors on ``eta``-times longer traces,
+  repeating until the full length is reached: cheap triage for wide spaces
+  that still preserves the extremes of the trade-off curve.  Because shorter
+  and longer evaluations are distinct campaign cells, every rung is
+  persisted and deduplicated by the result store like any other sweep.
+
+All tie-breaks fall back to the candidate's space index, so schedules are
+deterministic functions of (space, seed, budget).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.pareto import ParetoPoint, dominance_ranks
+from repro.dse.space import SearchSpace
+
+
+@dataclass(frozen=True)
+class EvaluatedCandidate:
+    """One candidate evaluated at one trace length."""
+
+    index: int
+    name: str
+    assignment: Tuple[Tuple[str, object], ...]
+    instructions: int
+    objective_keys: Tuple[str, ...]
+    values: Tuple[float, ...]
+
+    @property
+    def objectives(self) -> Dict[str, float]:
+        """Objective values keyed by objective name."""
+        return dict(zip(self.objective_keys, self.values))
+
+    def score(self) -> float:
+        """Scalarized promotion score: the product of all objective values.
+
+        With the default runtime/energy objectives this is exactly the
+        energy-delay product; with more objectives it stays a symmetric,
+        scale-free aggregate suitable for ranking rungs.
+        """
+        product = 1.0
+        for value in self.values:
+            product *= value
+        return product
+
+
+class SearchStrategy:
+    """Base class: subclasses implement :meth:`run`."""
+
+    key = ""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def default_budget(self, space: SearchSpace) -> int:
+        """Budget used when the caller passes none."""
+        return space.size
+
+    # ------------------------------------------------------------------
+    def run(
+        self, space: SearchSpace, evaluator, budget: Optional[int] = None
+    ) -> Tuple[List[EvaluatedCandidate], List[EvaluatedCandidate]]:
+        """Execute the search.
+
+        Returns ``(pool, trail)``: the full-length evaluations eligible for
+        the frontier, and every evaluation performed (all rungs), in
+        schedule order.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _sample(self, space: SearchSpace, budget: Optional[int]) -> List[int]:
+        """``budget`` distinct indices, deterministic in (space, seed)."""
+        count = self._clamp(space, budget)
+        if count >= space.size:
+            return list(range(space.size))
+        return sorted(random.Random(self.seed).sample(range(space.size), count))
+
+    def _clamp(self, space: SearchSpace, budget: Optional[int]) -> int:
+        count = self.default_budget(space) if budget is None else budget
+        if count < 1:
+            raise ValueError("budget must be >= 1")
+        return min(count, space.size)
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive sweep; a budget evaluates an evenly-strided subsample.
+
+    A budget smaller than the space must not degenerate to the row-major
+    index *prefix* (which would pin every leading dimension to its first
+    value): the capped sweep instead strides uniformly through the index
+    range, so all dimensions keep varying.
+    """
+
+    key = "grid"
+
+    def run(self, space, evaluator, budget=None):
+        count = self._clamp(space, budget)
+        indices = sorted({(i * space.size) // count for i in range(count)})
+        pool = evaluator.evaluate(indices, space.instructions)
+        return pool, list(pool)
+
+
+class RandomSearch(SearchStrategy):
+    """Seeded uniform sample of the space at full trace length."""
+
+    key = "random"
+
+    def default_budget(self, space: SearchSpace) -> int:
+        return min(space.size, 16)
+
+    def run(self, space, evaluator, budget=None):
+        indices = self._sample(space, budget)
+        pool = evaluator.evaluate(indices, space.instructions)
+        return pool, list(pool)
+
+
+class SuccessiveHalving(SearchStrategy):
+    """Adaptive triage: short traces for everyone, full length for survivors.
+
+    Parameters
+    ----------
+    eta:
+        Promotion rate: each rung keeps ``ceil(n / eta)`` candidates — but
+        never fewer than the rung's own Pareto front — and multiplies the
+        trace length by ``eta``.
+    min_instructions:
+        Floor for the first rung's trace length.
+    """
+
+    key = "halving"
+
+    def __init__(self, seed: int = 0, eta: int = 2, min_instructions: int = 250) -> None:
+        super().__init__(seed)
+        if eta < 2:
+            raise ValueError("eta must be >= 2")
+        if min_instructions < 1:
+            raise ValueError("min_instructions must be >= 1")
+        self.eta = eta
+        self.min_instructions = min_instructions
+
+    def default_budget(self, space: SearchSpace) -> int:
+        return min(space.size, 16)
+
+    # ------------------------------------------------------------------
+    def rung_instructions(self, full: int, candidates: int) -> List[int]:
+        """Trace lengths of every rung, ending exactly at ``full``.
+
+        One halving per promotion round: ``ceil(log_eta(candidates))``
+        rounds shrink the field to one survivor, so the first rung runs at
+        ``full / eta**rounds`` (floored at ``min_instructions``).
+        """
+        rounds = max(0, math.ceil(math.log(max(candidates, 1), self.eta)))
+        lengths = []
+        for rung in range(rounds, 0, -1):
+            length = max(self.min_instructions, full // self.eta**rung)
+            if length < full and (not lengths or length > lengths[-1]):
+                lengths.append(length)
+        lengths.append(full)
+        return lengths
+
+    @staticmethod
+    def promote(evaluations: Sequence[EvaluatedCandidate], keep: int) -> List[int]:
+        """Indices of the ``keep`` best candidates of one rung.
+
+        Candidates are ordered by Pareto dominance rank first (so the
+        extremes of the trade-off curve — excellent on one objective, weak
+        on another — are never culled by a scalar aggregate while
+        non-dominated), then by scalarized score, then by space index as
+        the deterministic tie-break.  The returned indices are sorted so
+        the next rung evaluates in canonical order.
+        """
+        if keep < 1:
+            raise ValueError("must keep at least one candidate")
+        ordered = sorted(evaluations, key=lambda e: e.index)
+        ranks = dominance_ranks(
+            [ParetoPoint(label=e.name, values=e.values) for e in ordered]
+        )
+        ranked = sorted(
+            zip(ranks, ordered), key=lambda pair: (pair[0], pair[1].score(), pair[1].index)
+        )
+        return sorted(e.index for _, e in ranked[:keep])
+
+    def run(self, space, evaluator, budget=None):
+        indices = self._sample(space, budget)
+        trail: List[EvaluatedCandidate] = []
+        pool: List[EvaluatedCandidate] = []
+        for length in self.rung_instructions(space.instructions, len(indices)):
+            evaluations = evaluator.evaluate(indices, length)
+            trail.extend(evaluations)
+            if length >= space.instructions:
+                pool = evaluations
+                break
+            # Never promote fewer candidates than the rung's own Pareto
+            # front: halving triages the dominated bulk, not the frontier.
+            front = dominance_ranks(
+                [ParetoPoint(label=e.name, values=e.values) for e in evaluations]
+            ).count(0)
+            keep = max(1, math.ceil(len(indices) / self.eta), front)
+            indices = self.promote(evaluations, keep)
+        return pool, trail
+
+
+STRATEGIES: Dict[str, type] = {
+    GridSearch.key: GridSearch,
+    RandomSearch.key: RandomSearch,
+    SuccessiveHalving.key: SuccessiveHalving,
+}
+
+#: strategy names in presentation order (shown in ``repro dse`` CLI help)
+STRATEGY_NAMES: Tuple[str, ...] = tuple(STRATEGIES)
+
+
+def strategy_by_name(name: str, seed: int = 0) -> SearchStrategy:
+    """Instantiate the named strategy (raises ``ValueError`` if unknown)."""
+    try:
+        factory = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {', '.join(STRATEGY_NAMES)}"
+        ) from None
+    return factory(seed=seed)

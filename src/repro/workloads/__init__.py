@@ -29,10 +29,15 @@ from repro.workloads.profiles import BenchmarkProfile, StreamSpec, StreamKind
 from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
 from repro.workloads.suites import (
     ALL_BENCHMARKS,
+    ALL_SUITES,
+    EXTENDED_BENCHMARKS,
+    LOCALITY_DIVERSE_BENCHMARKS,
     MEDIABENCH2,
     SPEC_FP,
     SPEC_INT,
     SUITES,
+    SYNTHETIC,
+    SYNTHETIC_BENCHMARKS,
     benchmark_profile,
     suite_profiles,
 )
@@ -45,10 +50,15 @@ __all__ = [
     "SyntheticTraceGenerator",
     "generate_trace",
     "ALL_BENCHMARKS",
+    "ALL_SUITES",
+    "EXTENDED_BENCHMARKS",
+    "LOCALITY_DIVERSE_BENCHMARKS",
     "MEDIABENCH2",
     "SPEC_FP",
     "SPEC_INT",
     "SUITES",
+    "SYNTHETIC",
+    "SYNTHETIC_BENCHMARKS",
     "benchmark_profile",
     "suite_profiles",
 ]

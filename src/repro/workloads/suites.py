@@ -34,7 +34,13 @@ from repro.workloads.profiles import BenchmarkProfile, StreamKind, StreamSpec
 SPEC_INT = "SPEC-INT"
 SPEC_FP = "SPEC-FP"
 MEDIABENCH2 = "MB2"
+#: extra profiles that are not paper benchmarks: synthetic corner-case
+#: workloads used to diversify sensitivity sweeps and design-space searches
+SYNTHETIC = "SYN"
+#: the paper's three suites (Fig. 4's grouping)
 SUITES: Tuple[str, ...] = (SPEC_INT, SPEC_FP, MEDIABENCH2)
+#: every suite the registry knows, including the synthetic extras
+ALL_SUITES: Tuple[str, ...] = SUITES + (SYNTHETIC,)
 
 
 # ----------------------------------------------------------------------
@@ -183,19 +189,77 @@ def _mediabench_profiles() -> List[BenchmarkProfile]:
 
 
 # ----------------------------------------------------------------------
+# Synthetic scenario-diversity profiles (not part of the paper's 38)
+# ----------------------------------------------------------------------
+def _synthetic_profiles() -> List[BenchmarkProfile]:
+    """Corner-case workloads that stress the ends of the locality spectrum.
+
+    ``ptrchase`` is a worst case for page-based grouping: almost every load
+    is a dependent pointer dereference into a multi-megabyte heap, streams
+    switch often and pages are rarely revisited, so MALEC finds few accesses
+    to share a translation with.  ``streamwrite`` is the opposite extreme on
+    the store side: long unit-stride write bursts through large buffers (a
+    memset/copy-out kernel), which exercises store-buffer drain, merge
+    windows and the one-page-per-cycle restriction under write pressure.
+    Both extend sensitivity sweeps and design-space searches beyond the
+    paper's benchmark mix; neither is counted in ``ALL_BENCHMARKS``.
+    """
+    p = []
+    p.append(
+        _profile(
+            "ptrchase",
+            SYNTHETIC,
+            [chase(3200, 0.15, 1.3, 0.08), chase(1600, 0.25, 0.7, 0.1), hot(3, 0.8, 0.25)],
+            0.46,
+            switch=0.55,
+            chase_dep=0.7,
+            load_use=0.6,
+        )
+    )
+    p.append(
+        _profile(
+            "streamwrite",
+            SYNTHETIC,
+            [seq(1500, 8, 1.4, 0.85), seq(900, 16, 0.7, 0.8), hot(3, 0.9, 0.3, 0.4)],
+            0.42,
+            switch=0.22,
+            load_use=0.3,
+        )
+    )
+    return p
+
+
+# ----------------------------------------------------------------------
 # Public registry
 # ----------------------------------------------------------------------
-def _build_registry() -> Dict[str, BenchmarkProfile]:
-    registry: Dict[str, BenchmarkProfile] = {}
-    for profile in _spec_int_profiles() + _spec_fp_profiles() + _mediabench_profiles():
-        registry[profile.name] = profile
-    return registry
+_PAPER_PROFILES: List[BenchmarkProfile] = (
+    _spec_int_profiles() + _spec_fp_profiles() + _mediabench_profiles()
+)
+_SYNTH_PROFILES: List[BenchmarkProfile] = _synthetic_profiles()
 
+_REGISTRY: Dict[str, BenchmarkProfile] = {
+    profile.name: profile for profile in _PAPER_PROFILES + _SYNTH_PROFILES
+}
 
-_REGISTRY: Dict[str, BenchmarkProfile] = _build_registry()
+#: the paper's 38 benchmark names in Fig. 4's plotting order
+ALL_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _PAPER_PROFILES)
 
-#: all benchmark names in the paper's plotting order
-ALL_BENCHMARKS: Tuple[str, ...] = tuple(_REGISTRY.keys())
+#: the synthetic scenario-diversity extras (SYN suite)
+SYNTHETIC_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _SYNTH_PROFILES)
+
+#: every profile the registry can generate (paper grid + synthetic extras)
+EXTENDED_BENCHMARKS: Tuple[str, ...] = ALL_BENCHMARKS + SYNTHETIC_BENCHMARKS
+
+#: locality-diverse subset used by sensitivity sweeps and DSE presets: the
+#: Sec. VI-D paper picks (high- and low-locality SPEC plus media) extended
+#: with the two synthetic extremes
+LOCALITY_DIVERSE_BENCHMARKS: Tuple[str, ...] = (
+    "gzip",
+    "mcf",
+    "art",
+    "djpeg",
+    "h263dec",
+) + SYNTHETIC_BENCHMARKS
 
 
 def benchmark_profile(name: str) -> BenchmarkProfile:
@@ -204,7 +268,7 @@ def benchmark_profile(name: str) -> BenchmarkProfile:
 
 
 def suite_profiles(suite: str) -> List[BenchmarkProfile]:
-    """All profiles of one suite (``SPEC-INT``, ``SPEC-FP`` or ``MB2``)."""
-    if suite not in SUITES:
-        raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
+    """All profiles of one suite (``SPEC-INT``, ``SPEC-FP``, ``MB2`` or ``SYN``)."""
+    if suite not in ALL_SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {ALL_SUITES}")
     return [profile for profile in _REGISTRY.values() if profile.suite == suite]

@@ -68,9 +68,14 @@ class TestCli:
         assert "geo. mean all (time)" in output
         assert "10 records" in output  # both sweeps' cells persisted
 
-    def test_sweep_unknown_preset_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["sweep", "not-a-preset"])
+    def test_sweep_unknown_preset_exits_2_with_valid_names(self, capsys):
+        # No KeyError traceback: the CLI reports the valid presets and
+        # returns the argparse usage-error code.
+        assert main(["sweep", "not-a-preset"]) == 2
+        err = capsys.readouterr().err
+        assert "not-a-preset" in err
+        for name in ("fig4", "fig4-mini", "sec6d"):
+            assert name in err
 
     def test_sweep_invalid_flag_values_rejected(self):
         for argv in (
@@ -81,6 +86,67 @@ class TestCli:
         ):
             with pytest.raises(SystemExit):
                 main(argv)
+
+    def test_dse_unknown_space_exits_2_with_valid_names(self, capsys):
+        assert main(["dse", "not-a-space"]) == 2
+        err = capsys.readouterr().err
+        assert "not-a-space" in err
+        assert "malec-mini" in err and "malec-sensitivity" in err
+
+    def test_dse_unknown_objective_exits_2(self, capsys):
+        assert main(
+            ["dse", "malec-mini", "--objectives", "runtime,bogus", "--budget", "1"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "edp" in err
+
+    def test_dse_smoke_writes_frontier_csv(self, capsys, tmp_path):
+        out = str(tmp_path / "dse")
+        argv = [
+            "dse", "malec-mini",
+            "--strategy", "random",
+            "--budget", "2",
+            "--instructions", "300",
+            "--benchmarks", "gzip", "streamwrite",
+            "--jobs", "1",
+            "--out", out,
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "Pareto frontier" in output
+        csv_path = tmp_path / "dse" / "frontier.csv"
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) >= 2  # header plus at least one frontier point
+        assert "runtime" in lines[0] and "energy" in lines[0]
+        # Re-running resumes every cell from the store and reproduces the
+        # exact same artifact.
+        before = csv_path.read_text()
+        assert main(argv) == 0
+        resumed = capsys.readouterr().out
+        assert "cells: 0 simulated" in resumed
+        assert csv_path.read_text() == before
+
+    def test_dse_halving_in_memory(self, capsys):
+        argv = [
+            "dse", "malec-mini",
+            "--strategy", "halving",
+            "--budget", "4",
+            "--instructions", "400",
+            "--benchmarks", "gzip",
+            "--jobs", "1",
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "strategy halving" in output
+        assert "Pareto frontier" in output
+
+    def test_list_includes_synthetic_profiles(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "ptrchase" in output and "streamwrite" in output
+        assert "SYN" in output
 
     def test_locality_command(self, capsys):
         assert main(["locality", "gzip", "djpeg", "--instructions", "800"]) == 0

@@ -10,9 +10,13 @@ from repro.memory.address import DEFAULT_LAYOUT
 from repro.workloads.profiles import BenchmarkProfile, StreamKind, StreamSpec
 from repro.workloads.suites import (
     ALL_BENCHMARKS,
+    EXTENDED_BENCHMARKS,
+    LOCALITY_DIVERSE_BENCHMARKS,
     MEDIABENCH2,
     SPEC_FP,
     SPEC_INT,
+    SYNTHETIC,
+    SYNTHETIC_BENCHMARKS,
     benchmark_profile,
     suite_profiles,
 )
@@ -33,6 +37,36 @@ class TestProfilesRegistry:
     def test_paper_benchmarks_named(self):
         for name in ("gzip", "mcf", "gap", "equake", "mgrid", "djpeg", "h263dec"):
             assert name in ALL_BENCHMARKS
+
+    def test_synthetic_extras_registered_but_not_counted(self):
+        # The SYN profiles extend the registry without touching the paper's
+        # 38-benchmark grid (Fig. 4 sweeps must not change shape).
+        assert SYNTHETIC_BENCHMARKS == ("ptrchase", "streamwrite")
+        assert len(EXTENDED_BENCHMARKS) == 40
+        assert not set(SYNTHETIC_BENCHMARKS) & set(ALL_BENCHMARKS)
+        assert len(suite_profiles(SYNTHETIC)) == 2
+        for name in SYNTHETIC_BENCHMARKS:
+            assert benchmark_profile(name).suite == SYNTHETIC
+            assert name in LOCALITY_DIVERSE_BENCHMARKS
+
+    def test_ptrchase_has_low_page_locality(self):
+        def locality(name):
+            trace = generate_trace(benchmark_profile(name), instructions=3000)
+            return analyzer.same_page_follow_fraction(trace.load_addresses(), 0)
+
+        # Lower than the lowest-locality paper pick and far below media.
+        assert locality("ptrchase") < locality("mcf")
+        assert locality("ptrchase") < locality("djpeg") - 0.2
+
+    def test_streamwrite_is_store_dominated(self):
+        trace = generate_trace(benchmark_profile("streamwrite"), instructions=3000)
+        stores = sum(1 for i in trace if i.is_store)
+        loads = sum(1 for i in trace if i.is_load)
+        assert stores > loads  # inverted load/store ratio vs the 2:1 suites
+        gzip_trace = generate_trace(benchmark_profile("gzip"), instructions=3000)
+        gzip_stores = sum(1 for i in gzip_trace if i.is_store)
+        gzip_loads = sum(1 for i in gzip_trace if i.is_load)
+        assert stores / (stores + loads) > 2 * gzip_stores / (gzip_stores + gzip_loads)
 
     def test_unknown_lookup_raises(self):
         with pytest.raises(KeyError):
