@@ -2,9 +2,10 @@
 
 The offline evaluation environment cannot reach PyPI, so ``pip install -e .``
 must avoid PEP 517 build isolation (which downloads setuptools/wheel into a
-fresh build environment).  pip only takes the isolation-free legacy install
-path when the project declares its metadata via ``setup.py`` and ships no
-``pyproject.toml``; pytest configuration therefore lives in ``pytest.ini``.
+fresh build environment).  ``pyproject.toml`` exists for tool configuration
+(ruff) and declares a plain setuptools build backend; offline installs must
+pass ``--no-build-isolation`` so the already-installed setuptools is used.
+All package metadata stays here.
 """
 
 from setuptools import find_packages, setup

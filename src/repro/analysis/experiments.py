@@ -13,11 +13,12 @@ store-backed resume (``store``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import geometric_mean
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import SimulationResult
+from repro.workloads.registry import registered_handle, registered_trace
 from repro.workloads.suites import ALL_BENCHMARKS, ALL_SUITES, benchmark_profile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import MemoryTrace
@@ -135,16 +136,31 @@ class ExperimentRunner:
         self.instructions = instructions
         self.benchmarks = list(benchmarks) if benchmarks is not None else list(ALL_BENCHMARKS)
         self.warmup_fraction = warmup_fraction
-        # Keyed (benchmark, instructions, trace seed) — the campaign
-        # executor's cache shape, shared with it by run() so traces generated
-        # here and there are never produced twice.
-        self._trace_cache: Dict[Tuple[str, int, int], MemoryTrace] = {}
+        # Keyed (benchmark, instructions, trace seed, trace hash) — the
+        # campaign executor's cache shape, shared with it by run() so traces
+        # resolved here and there are never produced twice.
+        self._trace_cache: Dict[Tuple[str, int, int, str], MemoryTrace] = {}
 
     # ------------------------------------------------------------------
     def trace_for(self, benchmark: str) -> MemoryTrace:
-        """The (cached) synthetic trace of ``benchmark``."""
+        """The (cached) trace of ``benchmark`` — synthetic or ingested.
+
+        Registered ingested traces are truncated to the runner's instruction
+        budget when longer, matching what the campaign executor simulates.
+        """
+        ingested = registered_trace(benchmark)
+        if ingested is not None:
+            fingerprint = registered_handle(benchmark).fingerprint
+            key = (benchmark, self.instructions, 0, fingerprint)
+            if key not in self._trace_cache:
+                self._trace_cache[key] = (
+                    ingested
+                    if len(ingested) <= self.instructions
+                    else ingested.head(self.instructions)
+                )
+            return self._trace_cache[key]
         profile = benchmark_profile(benchmark)
-        key = (benchmark, self.instructions, profile.seed)
+        key = (benchmark, self.instructions, profile.seed, "")
         if key not in self._trace_cache:
             self._trace_cache[key] = generate_trace(profile, self.instructions)
         return self._trace_cache[key]

@@ -191,6 +191,50 @@ def bench_fig4_mini_sweep_serial(instructions: int, repeats: int) -> ScenarioRes
     return ScenarioResult(name="fig4_mini_sweep_serial", runs=runs, details=details)
 
 
+def bench_trace_decode(instructions: int, repeats: int) -> ScenarioResult:
+    """Time decoding a trace from ``.rtrc`` (the pool-worker payload path).
+
+    The timed workload is :func:`repro.workloads.binfmt.load_rtrc` — exactly
+    what a campaign/DSE pool worker pays per trace.  The JSONL parse of the
+    same trace is timed alongside (same best-of-N) and reported in the
+    details as ``jsonl_seconds``/``speedup_vs_jsonl``, documenting what the
+    binary format buys over the line-per-instruction text form.
+    """
+    import tempfile
+
+    from repro.workloads.binfmt import dump_rtrc, load_rtrc
+    from repro.workloads.trace import MemoryTrace
+
+    trace = generate_trace(
+        benchmark_profile(SINGLE_RUN_BENCHMARK), instructions=instructions
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        rtrc_path = Path(tmp) / "bench.rtrc"
+        jsonl_path = Path(tmp) / "bench.jsonl"
+        dump_rtrc(trace, rtrc_path)
+        trace.to_jsonl(jsonl_path)
+
+        def workload() -> Dict[str, object]:
+            decoded = load_rtrc(rtrc_path)
+            return {
+                "benchmark": SINGLE_RUN_BENCHMARK,
+                "instructions": len(decoded),
+                "rtrc_bytes": rtrc_path.stat().st_size,
+            }
+
+        runs, details = _time_repeats(repeats, workload)
+        jsonl_runs, _ = _time_repeats(
+            repeats, lambda: {"n": len(MemoryTrace.from_jsonl(jsonl_path))}
+        )
+    result = ScenarioResult(name="trace_decode_rtrc", runs=runs, details=details)
+    jsonl_seconds = min(jsonl_runs)
+    result.details["jsonl_seconds"] = jsonl_seconds
+    result.details["speedup_vs_jsonl"] = (
+        jsonl_seconds / result.seconds if result.seconds else 0.0
+    )
+    return result
+
+
 def bench_figure4_acceptance(instructions: int, repeats: int) -> ScenarioResult:
     """Time the ``repro figure4 gzip djpeg mcf`` workload (acceptance metric)."""
     from repro.analysis.experiments import ExperimentRunner
@@ -256,6 +300,7 @@ def run_benchmarks(
         bench_fig4_mini_sweep(sweep_instructions, repeats),
         bench_fig4_mini_sweep_serial(sweep_instructions, repeats),
         bench_figure4_acceptance(instructions, repeats),
+        bench_trace_decode(instructions, repeats),
     ]
     return {
         "schema": SCHEMA_VERSION,
@@ -364,6 +409,26 @@ def load_report(path: Union[str, Path]) -> dict:
     return report
 
 
+def _load_report_checked(path: Union[str, Path]) -> Optional[dict]:
+    """Load a comparison report, or ``None`` after printing a usage error.
+
+    Missing files, unreadable files and corrupt/non-report JSON are usage
+    errors of ``--compare`` (exit 2), matching how ``sweep``/``dse`` reject
+    unknown presets — never a traceback.
+    """
+    try:
+        return load_report(path)
+    except FileNotFoundError:
+        print(f"repro bench: comparison file not found: {path}", file=sys.stderr)
+    except OSError as error:
+        print(f"repro bench: cannot read {path}: {error}", file=sys.stderr)
+    except json.JSONDecodeError as error:
+        print(f"repro bench: {path} is not valid JSON: {error}", file=sys.stderr)
+    except ValueError as error:
+        print(f"repro bench: {error}", file=sys.stderr)
+    return None
+
+
 def main_bench(args) -> int:
     """Implementation of the ``repro bench`` CLI sub-command.
 
@@ -382,8 +447,10 @@ def main_bench(args) -> int:
         return 2
 
     if len(compare) == 2:
-        before = load_report(compare[0])
-        after = load_report(compare[1])
+        before = _load_report_checked(compare[0])
+        after = _load_report_checked(compare[1])
+        if before is None or after is None:
+            return 2
         print(compare_reports(before, after))
         regressions = find_regressions(
             before, after, threshold if threshold is not None else 20.0
@@ -408,7 +475,9 @@ def main_bench(args) -> int:
         path = write_report(report, out_dir, out_file=args.output)
         print(f"wrote {path}")
     if compare:
-        before = load_report(compare[0])
+        before = _load_report_checked(compare[0])
+        if before is None:
+            return 2
         print(compare_reports(before, report))
         if threshold is not None:
             regressions = find_regressions(before, report, threshold)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from repro.cache.cache_bank import BankAccessResult, CacheBank
+from repro.cache.cache_bank import CacheBank
 from repro.cache.l2_cache import L2Cache
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
 from repro.stats import StatCounters

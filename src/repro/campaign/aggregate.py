@@ -10,7 +10,7 @@ trace generation, just reading the directory.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.analysis.experiments import BenchmarkRun, ExperimentResults
 from repro.analysis.reporting import format_table

@@ -9,10 +9,13 @@ into an :class:`~repro.analysis.experiments.ExperimentResults`:
   ``multiprocessing`` pool (``jobs > 1``), with graceful fallback to the
   serial path when the platform cannot spawn worker processes (restricted
   sandboxes) or the pool breaks mid-sweep;
-* every benchmark trace is generated **once in the parent**, serialized to
-  compact bytes (:meth:`~repro.workloads.trace.MemoryTrace.to_bytes`) and
-  shipped to the workers through the pool initializer — workers decode each
-  trace at most once per process instead of regenerating it per task;
+* every workload trace — synthetic *or* ingested — is resolved **once in the
+  parent**, serialized to compact ``.rtrc`` bytes
+  (:meth:`~repro.workloads.trace.MemoryTrace.to_bytes`, the binary codec of
+  :mod:`repro.workloads.binfmt`) and shipped to the workers through the pool
+  initializer — workers decode each trace at most once per process through
+  one ``struct.iter_unpack`` pass instead of regenerating (or re-parsing)
+  it per task;
 * cells are dispatched with chunked ``imap_unordered``, so scheduling
   overhead is one pickled batch per chunk rather than one round-trip per
   cell, and results stream back as they finish;
@@ -38,15 +41,19 @@ from repro.analysis.experiments import BenchmarkRun, ExperimentResults
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
 from repro.sim.simulator import SimulationResult, run_configuration
+from repro.workloads.registry import registered_trace, workload_suite
 from repro.workloads.suites import benchmark_profile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import MemoryTrace
 
-#: (benchmark, instructions, trace seed) -> generated trace
-TraceCache = Dict[Tuple[str, int, int], MemoryTrace]
+#: (benchmark, instructions, trace seed, trace hash) -> resolved trace; the
+#: hash is empty for synthetic workloads and pins the content of ingested
+#: ones, so a name re-registered with different trace bytes never hits a
+#: stale cache entry
+TraceCache = Dict[Tuple[str, int, int, str], MemoryTrace]
 
 #: key shape of the trace caches
-TraceKey = Tuple[str, int, int]
+TraceKey = Tuple[str, int, int, str]
 
 ProgressCallback = Callable[[str, CampaignCell, int, int], None]
 
@@ -65,8 +72,14 @@ _TRACE_CACHE_LIMIT = 256
 
 
 def _cached_trace(cell: CampaignCell, cache: TraceCache) -> MemoryTrace:
-    """Generate (or fetch) the deterministic trace of ``cell``."""
-    key = (cell.benchmark, cell.instructions, cell.trace_seed())
+    """Resolve (or fetch) the deterministic trace of ``cell``.
+
+    Resolution order: the per-process cache, the ``.rtrc`` bytes a pool
+    parent shipped, the ingested-trace registry (truncated to the cell's
+    instruction budget), and finally synthetic generation from the benchmark
+    profile.
+    """
+    key = (cell.benchmark, cell.instructions, cell.trace_seed(), cell.trace_hash)
     trace = cache.get(key)
     if trace is None:
         if len(cache) >= _TRACE_CACHE_LIMIT:
@@ -74,13 +87,21 @@ def _cached_trace(cell: CampaignCell, cache: TraceCache) -> MemoryTrace:
         payload = _WORKER_TRACE_BYTES.get(key)
         if payload is not None:
             # Pool worker: decode the bytes the parent shipped (cheaper than
-            # regenerating, and the generation cost was paid exactly once).
+            # regenerating, and the resolution cost was paid exactly once).
             trace = MemoryTrace.from_bytes(payload)
         else:
-            profile = benchmark_profile(cell.benchmark)
-            trace = generate_trace(
-                profile, instructions=cell.instructions, seed=cell.trace_seed()
-            )
+            ingested = registered_trace(cell.benchmark)
+            if ingested is not None:
+                trace = (
+                    ingested
+                    if len(ingested) <= cell.instructions
+                    else ingested.head(cell.instructions)
+                )
+            else:
+                profile = benchmark_profile(cell.benchmark)
+                trace = generate_trace(
+                    profile, instructions=cell.instructions, seed=cell.trace_seed()
+                )
         cache[key] = trace
     return trace
 
@@ -216,7 +237,7 @@ class ParallelExecutor:
         """
         payloads: Dict[TraceKey, bytes] = {}
         for cell in pending:
-            key = (cell.benchmark, cell.instructions, cell.trace_seed())
+            key = (cell.benchmark, cell.instructions, cell.trace_seed(), cell.trace_hash)
             if key not in payloads:
                 payloads[key] = _cached_trace(cell, self.trace_cache).to_bytes()
         return payloads
@@ -262,18 +283,13 @@ class ParallelExecutor:
         self, spec: CampaignSpec, results: Dict[str, SimulationResult]
     ) -> ExperimentResults:
         experiment = ExperimentResults(configurations=spec.configuration_names())
-        for benchmark in spec.benchmarks:
-            run = BenchmarkRun(
-                benchmark=benchmark, suite=benchmark_profile(benchmark).suite
-            )
-            for config in spec.configurations:
-                cell = CampaignCell(
-                    benchmark=benchmark,
-                    config=config,
-                    instructions=spec.instructions,
-                    warmup_fraction=spec.warmup_fraction,
-                    seed=spec.seed,
+        by_benchmark: Dict[str, BenchmarkRun] = {}
+        for cell in spec.cells():
+            run = by_benchmark.get(cell.benchmark)
+            if run is None:
+                run = by_benchmark[cell.benchmark] = BenchmarkRun(
+                    benchmark=cell.benchmark, suite=workload_suite(cell.benchmark)
                 )
-                run.results[config.name] = results[cell.key()]
-            experiment.runs.append(run)
+                experiment.runs.append(run)
+            run.results[cell.config.name] = results[cell.key()]
         return experiment

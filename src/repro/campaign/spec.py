@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
-from dataclasses import dataclass, field, fields, is_dataclass, replace
+from dataclasses import dataclass, fields, is_dataclass, replace
 from functools import lru_cache
 from typing import Callable, Dict, List, Sequence, Tuple
 
@@ -39,6 +39,11 @@ from repro.sim.config import (
     PipelineParameters,
     SimulationConfig,
     TLBParameters,
+)
+from repro.workloads.registry import (
+    registered_handle,
+    validate_workload,
+    workload_trace_hash,
 )
 from repro.workloads.suites import (
     ALL_BENCHMARKS,
@@ -92,11 +97,17 @@ def config_from_dict(data: dict) -> SimulationConfig:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class CampaignCell:
-    """One (configuration, benchmark) simulation of a campaign.
+    """One (configuration, workload) simulation of a campaign.
 
-    ``seed`` is an offset added to the benchmark profile's own trace seed;
-    zero reproduces the default trace every other harness in the repository
-    generates for that benchmark.
+    ``benchmark`` names either a synthetic benchmark profile or a registered
+    ingested trace (:mod:`repro.workloads.registry`).  For synthetic
+    workloads ``seed`` is an offset added to the benchmark profile's own
+    trace seed; zero reproduces the default trace every other harness in the
+    repository generates for that benchmark.  For ingested workloads
+    ``trace_hash`` pins the exact trace content: the cell key embeds it, so
+    stored results are recognised across processes as long as the same trace
+    bytes are registered again — and never collide with a different trace
+    that happens to share a name.
     """
 
     benchmark: str
@@ -104,13 +115,20 @@ class CampaignCell:
     instructions: int
     warmup_fraction: float = 0.3
     seed: int = 0
+    trace_hash: str = ""
 
     def key(self) -> str:
         """Deterministic content hash identifying this cell."""
         return cell_key(self)
 
     def trace_seed(self) -> int:
-        """The RNG seed of this cell's synthetic trace."""
+        """The RNG seed of this cell's synthetic trace.
+
+        Ingested traces are not generated, so their cells use the campaign
+        seed verbatim (it only disambiguates the worker-payload cache key).
+        """
+        if self.trace_hash:
+            return self.seed
         return benchmark_profile(self.benchmark).seed + self.seed
 
 
@@ -133,6 +151,10 @@ def cell_key(cell: CampaignCell) -> str:
         "warmup_fraction": cell.warmup_fraction,
         "seed": cell.seed,
     }
+    if cell.trace_hash:
+        # Only present for ingested-trace cells, so every key computed before
+        # this field existed — including records already on disk — is stable.
+        payload["trace_hash"] = cell.trace_hash
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
 
@@ -164,11 +186,14 @@ class CampaignSpec:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate configuration names in campaign: {names}")
         for benchmark in self.benchmarks:
-            benchmark_profile(benchmark)  # raises KeyError for unknown names
+            validate_workload(benchmark)  # raises KeyError for unknown names
 
     # ------------------------------------------------------------------
     def cells(self) -> List[CampaignCell]:
         """Expand the grid into cells, benchmark-major (matches Fig. 4 order)."""
+        hashes = {
+            benchmark: workload_trace_hash(benchmark) for benchmark in self.benchmarks
+        }
         return [
             CampaignCell(
                 benchmark=benchmark,
@@ -176,6 +201,7 @@ class CampaignSpec:
                 instructions=self.instructions,
                 warmup_fraction=self.warmup_fraction,
                 seed=self.seed,
+                trace_hash=hashes[benchmark],
             )
             for benchmark in self.benchmarks
             for config in self.configurations
@@ -187,7 +213,7 @@ class CampaignSpec:
 
     def describe(self) -> dict:
         """JSON-able manifest of the campaign (stored alongside results)."""
-        return {
+        manifest = {
             "name": self.name,
             "benchmarks": list(self.benchmarks),
             "configurations": [config_to_dict(c) for c in self.configurations],
@@ -196,6 +222,15 @@ class CampaignSpec:
             "seed": self.seed,
             "cells": len(self.benchmarks) * len(self.configurations),
         }
+        traces = {
+            benchmark: handle.fingerprint
+            for benchmark in self.benchmarks
+            for handle in [registered_handle(benchmark)]
+            if handle is not None
+        }
+        if traces:
+            manifest["traces"] = traces
+        return manifest
 
     # ------------------------------------------------------------------
     def with_overrides(

@@ -23,12 +23,12 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Union
 
 from repro.campaign.spec import CampaignCell, CampaignSpec, config_to_dict
 from repro.energy.accounting import EnergyReport, StructureEnergy
 from repro.sim.simulator import SimulationResult
-from repro.workloads.suites import benchmark_profile
+from repro.workloads.registry import workload_suite
 
 
 # ----------------------------------------------------------------------
@@ -116,7 +116,7 @@ class ResultStore:
         record = {
             "key": key,
             "benchmark": cell.benchmark,
-            "suite": benchmark_profile(cell.benchmark).suite,
+            "suite": workload_suite(cell.benchmark),
             "config_name": cell.config.name,
             "config": config_to_dict(cell.config),
             "instructions": cell.instructions,
@@ -124,6 +124,8 @@ class ResultStore:
             "seed": cell.seed,
             "result": result_to_dict(result),
         }
+        if cell.trace_hash:
+            record["trace_hash"] = cell.trace_hash
         self._atomic_write(self._cell_path(key), record)
         return key
 

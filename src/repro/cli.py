@@ -29,6 +29,17 @@ directory layout):
     cells; ``--csv FILE`` (default ``<out>/frontier.csv``) writes the
     frontier artifact.
 
+``ingest``
+    Work with externally captured memory traces: ``convert`` parses a
+    valgrind-lackey / Dinero ``.din`` / CSV / JSONL file (gzip-aware) into
+    the compact binary ``.rtrc`` format, with optional warm-up skip, stride
+    subsampling and region-of-interest windowing; ``inspect`` prints a
+    trace's statistics and content fingerprint; ``interleave`` round-robins
+    several traces into one multiprogrammed workload.  ``figure4``,
+    ``sweep`` and ``dse`` then accept the resulting files directly through
+    ``--trace-file`` (repeatable), running ingested traces alongside — or
+    instead of — the synthetic benchmarks.
+
 ``locality``
     Print the Sec. III / Fig. 1 page- and line-locality statistics of one or
     more benchmarks.
@@ -49,6 +60,10 @@ Examples::
     python -m repro sweep sec6d --jobs 2 --out results/sec6d
     python -m repro dse malec-mini --strategy random --budget 6 --instructions 500
     python -m repro dse malec-sensitivity --strategy halving --budget 24 --out results/dse
+    python -m repro ingest convert app.lackey.gz -o app.rtrc --skip 1000
+    python -m repro ingest inspect app.rtrc
+    python -m repro ingest interleave app.rtrc db.rtrc -o mix.rtrc
+    python -m repro sweep fig4-mini --trace-file app.rtrc --out results/app
     python -m repro locality h263dec swim
     python -m repro bench --quick
     python -m repro bench --compare BENCH_old.json BENCH_new.json --threshold 20
@@ -79,6 +94,17 @@ from repro.dse.space import SPACE_PRESET_NAMES, space_preset
 from repro.dse.strategies import STRATEGY_NAMES
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import run_configuration
+from repro.workloads.binfmt import TraceFormatError, dump_rtrc
+from repro.workloads.ingest import (
+    TRACE_FORMATS,
+    TraceParseError,
+    interleave,
+    load_trace,
+    skip_warmup,
+    subsample,
+    window,
+)
+from repro.workloads.registry import register_trace, validate_workload
 from repro.workloads.suites import EXTENDED_BENCHMARKS, benchmark_profile
 from repro.workloads.synthetic import generate_trace
 
@@ -97,6 +123,94 @@ def _warmup_fraction(text: str) -> float:
     if not 0.0 <= value < 1.0:
         raise argparse.ArgumentTypeError(f"must lie in [0, 1), got {value}")
     return value
+
+
+def _add_trace_file_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-file",
+        action="append",
+        default=None,
+        dest="trace_files",
+        metavar="FILE",
+        help="run this ingested trace (.rtrc/.jsonl/lackey/.din/.csv, "
+        "gzip-aware; repeatable).  Added to the selected benchmarks, or "
+        "run alone when no benchmarks are selected",
+    )
+
+
+def _add_transform_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window",
+        default=None,
+        metavar="START:STOP",
+        help="keep only the region of interest [START, STOP) (applied first)",
+    )
+    parser.add_argument(
+        "--skip",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drop the first N instructions (external warm-up; applied second)",
+    )
+    parser.add_argument(
+        "--stride",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="keep every K-th instruction (stride subsampling; applied last)",
+    )
+
+
+def _parse_window(text: str):
+    """``START:STOP`` -> (start, stop); STOP may be empty (end of trace).
+
+    Raises ``ValueError`` (a usage error: callers print the message and
+    exit 2, never a traceback).
+    """
+    start_text, _, stop_text = text.partition(":")
+    try:
+        start = int(start_text) if start_text else 0
+        stop = int(stop_text) if stop_text else None
+    except ValueError:
+        raise ValueError(
+            f"--window expects START:STOP integers, got {text!r}"
+        ) from None
+    return start, stop
+
+
+def _apply_transforms(trace, args):
+    """Apply the shared convert transforms in documented order."""
+    if args.window:
+        start, stop = _parse_window(args.window)
+        trace = window(trace, start, stop)
+    if args.skip:
+        trace = skip_warmup(trace, args.skip)
+    if args.stride > 1:
+        trace = subsample(trace, args.stride)
+    return trace
+
+
+def _register_trace_files(paths) -> List[str]:
+    """Load and register every ``--trace-file``; returns the workload names."""
+    names: List[str] = []
+    for path in paths:
+        handle = register_trace(load_trace(path))
+        names.append(handle.name)
+        print(f"ingested {path} as {handle.name} ({handle.length} instr)", file=sys.stderr)
+    return names
+
+
+def _merge_workloads(benchmarks, trace_files) -> Optional[List[str]]:
+    """Combine ``--benchmarks``/positional names with ``--trace-file`` traces.
+
+    Returns ``None`` to keep the preset's own grid (nothing was selected);
+    otherwise the explicit workload list — ingested traces replace the grid
+    when they are the only selection.
+    """
+    trace_names = _register_trace_files(trace_files or [])
+    if benchmarks is None and not trace_names:
+        return None
+    return list(benchmarks or []) + trace_names
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -130,7 +244,15 @@ def _build_parser() -> argparse.ArgumentParser:
     figure4 = commands.add_parser(
         "figure4", help="run the five Fig. 4 configurations over benchmarks"
     )
-    figure4.add_argument("benchmarks", nargs="+", choices=sorted(EXTENDED_BENCHMARKS))
+    # No argparse choices= here: nargs="*" + choices rejects an empty list on
+    # Python < 3.12, and trace-only invocations pass no benchmarks at all.
+    # Names are validated in _cmd_figure4 (exit 2, like unknown presets).
+    figure4.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="benchmark",
+        help=f"benchmark profiles from `repro list` (e.g. {', '.join(sorted(EXTENDED_BENCHMARKS)[:3])}, ...)",
+    )
     _add_common_options(figure4)
     figure4.add_argument(
         "--jobs",
@@ -138,6 +260,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sweep (default: one per CPU core)",
     )
+    _add_trace_file_option(figure4)
 
     sweep = commands.add_parser(
         "sweep", help="run a campaign preset through the parallel sweep engine"
@@ -184,6 +307,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
     )
+    _add_trace_file_option(sweep)
 
     dse = commands.add_parser(
         "dse",
@@ -264,6 +388,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
+    _add_trace_file_option(dse)
+
+    ingest = commands.add_parser(
+        "ingest", help="convert, inspect and combine externally captured traces"
+    )
+    ingest_commands = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    convert = ingest_commands.add_parser(
+        "convert", help="parse an external trace and write it as .rtrc (or JSONL)"
+    )
+    convert.add_argument("input", help="trace file to read (.gz transparently)")
+    convert.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path; .jsonl/.jsonl.gz writes JSONL, anything else the "
+        "binary .rtrc format (default: input path with an .rtrc suffix)",
+    )
+    convert.add_argument(
+        "--format",
+        choices=("auto",) + TRACE_FORMATS,
+        default="auto",
+        help="input format (default: sniffed from the file extension)",
+    )
+    convert.add_argument(
+        "--name", default=None, help="trace name embedded in the output"
+    )
+    _add_transform_options(convert)
+
+    inspect = ingest_commands.add_parser(
+        "inspect", help="print a trace's statistics and content fingerprint"
+    )
+    inspect.add_argument("inputs", nargs="+", metavar="FILE")
+    inspect.add_argument(
+        "--format",
+        choices=("auto",) + TRACE_FORMATS,
+        default="auto",
+        help="input format (default: sniffed from each file extension)",
+    )
+
+    interleave_cmd = ingest_commands.add_parser(
+        "interleave",
+        help="round-robin several traces into one multiprogrammed workload",
+    )
+    interleave_cmd.add_argument("inputs", nargs="+", metavar="FILE")
+    interleave_cmd.add_argument(
+        "-o", "--output", required=True, metavar="FILE", help="output trace path"
+    )
+    interleave_cmd.add_argument(
+        "--granularity",
+        type=_positive_int,
+        default=64,
+        help="instructions taken from each trace per round (default: 64)",
+    )
+    interleave_cmd.add_argument(
+        "--name", default=None, help="name of the merged trace (default: joined names)"
     )
 
     locality = commands.add_parser(
@@ -413,8 +595,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # other usage error (2) instead of surfacing a traceback.
         print(f"repro: {error.args[0]}", file=sys.stderr)
         return 2
+    try:
+        workloads = _merge_workloads(args.benchmarks, args.trace_files)
+    except (TraceParseError, TraceFormatError, OSError, ValueError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     spec = preset.with_overrides(
-        benchmarks=args.benchmarks,
+        benchmarks=workloads,
         instructions=args.instructions,
         warmup_fraction=args.warmup,
     )
@@ -457,8 +644,13 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(f"repro: {error.args[0]}", file=sys.stderr)
         return 2
+    try:
+        workloads = _merge_workloads(args.benchmarks, args.trace_files)
+    except (TraceParseError, TraceFormatError, OSError, ValueError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     space = space.with_overrides(
-        benchmarks=args.benchmarks,
+        benchmarks=workloads,
         instructions=args.instructions,
         warmup_fraction=args.warmup,
     )
@@ -510,9 +702,23 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
+    try:
+        workloads = _merge_workloads(args.benchmarks or None, args.trace_files)
+    except (TraceParseError, TraceFormatError, OSError, ValueError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    if not workloads:
+        print("repro: figure4 needs benchmark names and/or --trace-file", file=sys.stderr)
+        return 2
+    try:
+        for name in workloads:
+            validate_workload(name)
+    except KeyError as error:
+        print(f"repro: {error.args[0]}", file=sys.stderr)
+        return 2
     runner = ExperimentRunner(
         instructions=args.instructions,
-        benchmarks=args.benchmarks,
+        benchmarks=workloads,
         warmup_fraction=args.warmup,
     )
     results = runner.run(SimulationConfig.figure4_suite(), jobs=args.jobs)
@@ -536,6 +742,60 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _default_convert_output(input_path: str) -> Path:
+    """``app.lackey.gz`` -> ``app.rtrc`` (next to the input)."""
+    name = Path(input_path).name
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return Path(input_path).parent / (Path(name).stem + ".rtrc")
+
+
+def _write_trace(trace, output: Path) -> None:
+    """Write ``trace`` in the format implied by ``output``'s extension."""
+    text = str(output)
+    if text.endswith((".jsonl", ".jsonl.gz")):
+        trace.to_jsonl(output)
+    else:
+        dump_rtrc(trace, output)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    try:
+        if args.ingest_command == "convert":
+            trace = load_trace(args.input, fmt=args.format, name=args.name)
+            trace = _apply_transforms(trace, args)
+            output = (
+                Path(args.output) if args.output else _default_convert_output(args.input)
+            )
+            output.parent.mkdir(parents=True, exist_ok=True)
+            _write_trace(trace, output)
+            print(
+                f"wrote {output}: {trace.summary()}\n"
+                f"fingerprint {trace.fingerprint()}"
+            )
+            return 0
+        if args.ingest_command == "inspect":
+            for path in args.inputs:
+                trace = load_trace(path, fmt=args.format)
+                print(f"{path}: {trace.summary()}")
+                print(f"  fingerprint {trace.fingerprint()}")
+            return 0
+        if args.ingest_command == "interleave":
+            traces = [load_trace(path) for path in args.inputs]
+            merged = interleave(traces, granularity=args.granularity, name=args.name)
+            output = Path(args.output)
+            output.parent.mkdir(parents=True, exist_ok=True)
+            _write_trace(merged, output)
+            print(f"wrote {output}: {merged.summary()}")
+            return 0
+    except (TraceParseError, TraceFormatError, OSError, ValueError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled ingest command {args.ingest_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_locality(args: argparse.Namespace) -> int:
@@ -570,6 +830,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "dse":
         return _cmd_dse(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "locality":
         return _cmd_locality(args)
     if args.command == "bench":

@@ -38,7 +38,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.spec import CampaignCell
 from repro.sim.config import SimulationConfig
-from repro.workloads.suites import LOCALITY_DIVERSE_BENCHMARKS, benchmark_profile
+from repro.workloads.registry import validate_workload, workload_trace_hash
+from repro.workloads.suites import LOCALITY_DIVERSE_BENCHMARKS
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +156,7 @@ class SearchSpace:
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must lie in [0, 1)")
         for benchmark in self.benchmarks:
-            benchmark_profile(benchmark)  # raises KeyError for unknown names
+            validate_workload(benchmark)  # raises KeyError for unknown names
 
     # ------------------------------------------------------------------
     @property
@@ -210,6 +211,7 @@ class SearchSpace:
                 instructions=instructions or self.instructions,
                 warmup_fraction=self.warmup_fraction,
                 seed=self.seed,
+                trace_hash=workload_trace_hash(benchmark),
             )
             for benchmark in self.benchmarks
         ]

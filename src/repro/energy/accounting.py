@@ -10,7 +10,7 @@ leakage, per structure and total).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.energy.energy_model import InterfaceEnergyModel
 from repro.stats import StatCounters

@@ -16,8 +16,8 @@ to (array, access-kind) pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.energy.cacti import CactiParameters, SRAMArraySpec, SRAMEnergyModel
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT

@@ -22,7 +22,7 @@ determination can be disabled entirely.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Deque, List, Optional
 
 from repro.buffers.merge_buffer import MergeBufferEntry
 from repro.core.arbitration import ArbitrationUnit, BankRequest
@@ -33,7 +33,6 @@ from repro.core.wdu import WayDeterminationUnit
 from repro.interfaces.base import (
     BaseL1Interface,
     CompletedAccess,
-    PendingLoad,
     PendingWriteback,
 )
 from repro.memory.hierarchy import MemoryHierarchy

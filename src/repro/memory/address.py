@@ -33,7 +33,7 @@ configurations or sweep cells touch it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, NamedTuple
+from typing import NamedTuple
 
 
 def _is_power_of_two(value: int) -> bool:

@@ -11,7 +11,7 @@ appear in Fig. 4 (``Base1ldst``, ``Base1ldst_1cycleL1`` / ``Base2ld1st_1cycleL1`
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.energy.energy_model import EnergyModelConfig

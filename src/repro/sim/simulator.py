@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.cpu.instruction import Instruction
 from repro.cpu.pipeline import OutOfOrderPipeline, PipelineParametersLite

@@ -27,6 +27,29 @@ into a deterministic :class:`~repro.workloads.trace.MemoryTrace`.
 from repro.workloads.trace import MemoryTrace
 from repro.workloads.profiles import BenchmarkProfile, StreamSpec, StreamKind
 from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.workloads.binfmt import (
+    TraceFormatError,
+    dump_rtrc,
+    load_rtrc,
+    trace_fingerprint,
+)
+from repro.workloads.ingest import (
+    TraceParseError,
+    interleave,
+    load_trace,
+    parse_csv,
+    parse_dinero,
+    parse_lackey,
+    skip_warmup,
+    subsample,
+    window,
+)
+from repro.workloads.registry import (
+    TraceHandle,
+    register_trace,
+    registered_handle,
+    registered_trace,
+)
 from repro.workloads.suites import (
     ALL_BENCHMARKS,
     ALL_SUITES,
@@ -49,6 +72,23 @@ __all__ = [
     "StreamKind",
     "SyntheticTraceGenerator",
     "generate_trace",
+    "TraceFormatError",
+    "dump_rtrc",
+    "load_rtrc",
+    "trace_fingerprint",
+    "TraceParseError",
+    "interleave",
+    "load_trace",
+    "parse_csv",
+    "parse_dinero",
+    "parse_lackey",
+    "skip_warmup",
+    "subsample",
+    "window",
+    "TraceHandle",
+    "register_trace",
+    "registered_handle",
+    "registered_trace",
     "ALL_BENCHMARKS",
     "ALL_SUITES",
     "EXTENDED_BENCHMARKS",

@@ -1,0 +1,412 @@
+"""Streaming ingestion of externally captured memory traces.
+
+The paper evaluates MALEC on *traced* application workloads; this module
+opens the simulator to the same kind of input.  Three text formats parse
+into :class:`~repro.workloads.trace.MemoryTrace` objects:
+
+``lackey``
+    valgrind's ``--tool=lackey --trace-mem=yes`` output: one access per
+    line, ``I addr,size`` (instruction fetch), `` L addr,size`` (data load),
+    `` S addr,size`` (data store), `` M addr,size`` (modify = load+store).
+    Instruction fetches become compute instructions — the simulator models
+    the data side, the fetch only occupies the pipeline.  valgrind banner
+    lines (``==pid==`` / ``--pid--``) are skipped.
+
+``din``
+    The classic Dinero/DineroIV format: ``<label> <hexaddress>`` per line
+    with label ``0`` read, ``1`` write, ``2`` instruction fetch; extra
+    columns are ignored.  Accesses default to 4 bytes (the format carries no
+    size).
+
+``csv``
+    This repository's documented dialect: a ``kind,address,size,deps``
+    header, then one instruction per row.  ``kind`` is ``load``/``store``/
+    ``compute``; ``address`` accepts decimal or ``0x`` hex; ``size``
+    defaults to 4; ``deps`` is a ``;``-separated list of backward distances.
+
+All parsers stream line by line (constant memory), accept gzip-compressed
+files transparently and report malformed input with the offending line
+number.  :func:`load_trace` sniffs the format from the file extension and
+also reads the ``.rtrc``/``.jsonl`` formats the repository itself writes.
+
+Trace transforms compose ingestion into experiment-ready workloads:
+:func:`window` (region of interest), :func:`skip_warmup`, :func:`subsample`
+(stride sampling) and :func:`interleave` (round-robin merging of several
+traces into one multiprogrammed workload, with dependency distances remapped
+exactly across the interleaving).
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cpu.instruction import Instruction, InstructionKind
+from repro.memory.address import DEFAULT_LAYOUT, AddressLayout
+from repro.workloads.binfmt import load_rtrc
+from repro.workloads.registry import (  # noqa: F401  (re-exported API)
+    TraceHandle,
+    register_trace,
+    registered_handle,
+    registered_names,
+    registered_trace,
+)
+from repro.workloads.trace import MemoryTrace, _open_text as _open_trace_text
+
+#: text-format names accepted by :func:`parse_lines` / the ``--format`` flag
+TEXT_FORMATS = ("lackey", "din", "csv")
+
+#: every format :func:`load_trace` reads
+TRACE_FORMATS = TEXT_FORMATS + ("rtrc", "jsonl")
+
+#: extension -> format sniffing table (``.gz`` is stripped first)
+_EXTENSION_FORMATS = {
+    ".lackey": "lackey",
+    ".vgtrace": "lackey",
+    ".trace": "lackey",
+    ".din": "din",
+    ".csv": "csv",
+    ".rtrc": "rtrc",
+    ".jsonl": "jsonl",
+}
+
+
+class TraceParseError(ValueError):
+    """A malformed line in an external trace file (message carries line number)."""
+
+
+def _open_text(path: Union[str, Path]) -> IO[str]:
+    """Read-mode wrapper over the trace module's gzip-aware text opener."""
+    return _open_trace_text(path, "r")
+
+
+def _clone(instruction: Instruction) -> Instruction:
+    """A fresh copy of ``instruction`` with an unassigned sequence number."""
+    return Instruction(
+        kind=instruction.kind,
+        address=instruction.address,
+        size=instruction.size,
+        deps=instruction.deps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Text-format parsers (streaming, line-numbered diagnostics)
+# ----------------------------------------------------------------------
+def parse_lackey(
+    lines: Iterable[str],
+    name: str = "lackey",
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    source: str = "<lackey>",
+) -> MemoryTrace:
+    """Parse valgrind lackey ``--trace-mem`` output into a trace."""
+    instructions: List[Instruction] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("==", "--")):
+            continue
+        try:
+            op, rest = stripped.split(None, 1)
+            address_text, size_text = rest.split(",", 1)
+            address = int(address_text, 16)
+            size = int(size_text.strip(), 10)
+        except ValueError:
+            raise TraceParseError(
+                f"{source}: line {number}: malformed lackey record {stripped!r} "
+                "(expected 'I|L|S|M address,size')"
+            ) from None
+        if size <= 0:
+            raise TraceParseError(
+                f"{source}: line {number}: non-positive access size {size}"
+            )
+        if op == "I":
+            instructions.append(Instruction(kind=InstructionKind.COMPUTE))
+        elif op == "L":
+            instructions.append(
+                Instruction(kind=InstructionKind.LOAD, address=address, size=size)
+            )
+        elif op == "S":
+            instructions.append(
+                Instruction(kind=InstructionKind.STORE, address=address, size=size)
+            )
+        elif op == "M":
+            # A modify is a load followed by a store of the same location.
+            instructions.append(
+                Instruction(kind=InstructionKind.LOAD, address=address, size=size)
+            )
+            instructions.append(
+                Instruction(kind=InstructionKind.STORE, address=address, size=size)
+            )
+        else:
+            raise TraceParseError(
+                f"{source}: line {number}: unknown lackey operation {op!r} "
+                "(expected I, L, S or M)"
+            )
+    return MemoryTrace(name=name, instructions=instructions, layout=layout)
+
+
+def parse_dinero(
+    lines: Iterable[str],
+    name: str = "din",
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    source: str = "<din>",
+) -> MemoryTrace:
+    """Parse a Dinero ``.din`` reference stream into a trace."""
+    instructions: List[Instruction] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise TraceParseError(
+                f"{source}: line {number}: malformed din record {stripped!r} "
+                "(expected '<label> <hexaddress>')"
+            )
+        label = parts[0]
+        try:
+            address = int(parts[1], 16)
+        except ValueError:
+            raise TraceParseError(
+                f"{source}: line {number}: bad din address {parts[1]!r}"
+            ) from None
+        if label == "0":
+            instructions.append(
+                Instruction(kind=InstructionKind.LOAD, address=address, size=4)
+            )
+        elif label == "1":
+            instructions.append(
+                Instruction(kind=InstructionKind.STORE, address=address, size=4)
+            )
+        elif label == "2":
+            instructions.append(Instruction(kind=InstructionKind.COMPUTE))
+        else:
+            raise TraceParseError(
+                f"{source}: line {number}: unknown din label {label!r} "
+                "(expected 0=read, 1=write, 2=ifetch)"
+            )
+    return MemoryTrace(name=name, instructions=instructions, layout=layout)
+
+
+def parse_csv(
+    lines: Iterable[str],
+    name: str = "csv",
+    layout: AddressLayout = DEFAULT_LAYOUT,
+    source: str = "<csv>",
+) -> MemoryTrace:
+    """Parse the documented ``kind,address,size,deps`` CSV dialect."""
+    reader = _csv.reader(lines)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TraceParseError(f"{source}: empty file (expected a CSV header)") from None
+    columns = [column.strip().lower() for column in header]
+    if "kind" not in columns or "address" not in columns:
+        raise TraceParseError(
+            f"{source}: line 1: CSV header must name 'kind' and 'address' "
+            f"columns, got {columns}"
+        )
+    kind_at = columns.index("kind")
+    address_at = columns.index("address")
+    size_at = columns.index("size") if "size" in columns else None
+    deps_at = columns.index("deps") if "deps" in columns else None
+
+    def cell(row: List[str], index: Optional[int]) -> str:
+        if index is None or index >= len(row):
+            return ""
+        return row[index].strip()
+
+    instructions: List[Instruction] = []
+    for number, row in enumerate(reader, start=2):
+        if not row or all(not field.strip() for field in row):
+            continue
+        kind_text = cell(row, kind_at).lower()
+        try:
+            deps_text = cell(row, deps_at)
+            deps: Tuple[int, ...] = (
+                tuple(int(part) for part in deps_text.split(";") if part.strip())
+                if deps_text
+                else ()
+            )
+            if kind_text == "compute":
+                instructions.append(Instruction(kind=InstructionKind.COMPUTE, deps=deps))
+                continue
+            kind = {"load": InstructionKind.LOAD, "store": InstructionKind.STORE}[kind_text]
+            address = int(cell(row, address_at), 0)
+            size_text = cell(row, size_at)
+            size = int(size_text, 0) if size_text else 4
+            instructions.append(
+                Instruction(kind=kind, address=address, size=size, deps=deps)
+            )
+        except (KeyError, ValueError):
+            raise TraceParseError(
+                f"{source}: line {number}: malformed CSV instruction {row!r} "
+                "(kind must be load/store/compute with a valid address/size/deps)"
+            ) from None
+    return MemoryTrace(name=name, instructions=instructions, layout=layout)
+
+
+_TEXT_PARSERS = {
+    "lackey": parse_lackey,
+    "din": parse_dinero,
+    "csv": parse_csv,
+}
+
+
+# ----------------------------------------------------------------------
+# Format sniffing and the central loader
+# ----------------------------------------------------------------------
+def sniff_format(path: Union[str, Path]) -> Optional[str]:
+    """The trace format implied by ``path``'s extension (``None`` if unknown)."""
+    name = Path(path).name
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return _EXTENSION_FORMATS.get(Path(name).suffix.lower())
+
+
+def load_trace(
+    path: Union[str, Path],
+    fmt: str = "auto",
+    name: Optional[str] = None,
+    layout: AddressLayout = DEFAULT_LAYOUT,
+) -> MemoryTrace:
+    """Load a trace from any supported format (gzip-aware).
+
+    ``fmt`` is one of :data:`TRACE_FORMATS` or ``"auto"`` (sniff from the
+    extension).  ``name`` overrides the trace's display name (text formats
+    default to the file stem; ``.rtrc``/``.jsonl`` embed their own).
+    """
+    path = Path(path)
+    if fmt == "auto":
+        fmt = sniff_format(path)
+        if fmt is None:
+            raise TraceParseError(
+                f"{path}: cannot infer the trace format from the extension; "
+                f"pass an explicit format from {', '.join(TRACE_FORMATS)}"
+            )
+    if fmt == "rtrc":
+        trace = load_rtrc(path)
+    elif fmt == "jsonl":
+        trace = MemoryTrace.from_jsonl(path)
+    elif fmt in _TEXT_PARSERS:
+        stem = path.name[: -len(".gz")] if path.name.endswith(".gz") else path.name
+        default_name = Path(stem).stem
+        with _open_text(path) as handle:
+            trace = _TEXT_PARSERS[fmt](
+                handle, name=default_name, layout=layout, source=str(path)
+            )
+    else:
+        raise TraceParseError(
+            f"unknown trace format {fmt!r}; choose from {', '.join(TRACE_FORMATS)}"
+        )
+    if name is not None:
+        trace.name = name
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Transforms
+# ----------------------------------------------------------------------
+def window(trace: MemoryTrace, start: int, stop: Optional[int] = None) -> MemoryTrace:
+    """The region-of-interest slice ``[start, stop)`` of ``trace``.
+
+    Dependency distances are kept as-is; distances that point before the
+    window start are ignored at dispatch (the pipeline's normal rule for
+    trace-relative producers), exactly as with warm-up slicing.
+    """
+    if start < 0:
+        raise ValueError("window start must be >= 0")
+    sliced = [_clone(i) for i in trace.instructions[start:stop]]
+    return MemoryTrace(
+        name=trace.name, instructions=sliced, suite=trace.suite, layout=trace.layout
+    )
+
+
+def skip_warmup(trace: MemoryTrace, count: int) -> MemoryTrace:
+    """Drop the first ``count`` instructions (external warm-up phases)."""
+    if count < 0:
+        raise ValueError("warm-up skip count must be >= 0")
+    return window(trace, count)
+
+
+def subsample(trace: MemoryTrace, stride: int) -> MemoryTrace:
+    """Keep every ``stride``-th instruction (stride sampling for long traces).
+
+    Dependency annotations are dropped: their backward distances refer to
+    instructions the sampling removed.
+    """
+    if stride < 1:
+        raise ValueError("subsample stride must be >= 1")
+    if stride == 1:
+        return window(trace, 0)
+    sampled = [
+        Instruction(kind=i.kind, address=i.address, size=i.size)
+        for i in trace.instructions[::stride]
+    ]
+    return MemoryTrace(
+        name=trace.name, instructions=sampled, suite=trace.suite, layout=trace.layout
+    )
+
+
+def interleave(
+    traces: Sequence[MemoryTrace],
+    granularity: int = 64,
+    name: Optional[str] = None,
+) -> MemoryTrace:
+    """Round-robin interleave several traces into one multiprogrammed workload.
+
+    Chunks of ``granularity`` instructions are taken from each trace in turn
+    until all are exhausted (shorter traces simply drop out).  Dependency
+    distances are remapped *exactly*: every producer/consumer pair of a
+    source trace still links the same two instructions in the merged trace,
+    however many foreign chunks the interleaving put between them.
+
+    The merged trace uses the first trace's address layout (interleaving
+    traces captured under different layouts is not meaningful).
+    """
+    if not traces:
+        raise ValueError("interleave needs at least one trace")
+    if granularity < 1:
+        raise ValueError("interleave granularity must be >= 1")
+    merged: List[Instruction] = []
+    cursors = [0] * len(traces)
+    out_positions: List[List[int]] = [[0] * len(trace) for trace in traces]
+    while True:
+        emitted = False
+        for index, trace in enumerate(traces):
+            start = cursors[index]
+            stop = min(start + granularity, len(trace))
+            if start >= stop:
+                continue
+            emitted = True
+            positions = out_positions[index]
+            source = trace.instructions
+            for at in range(start, stop):
+                instruction = source[at]
+                out_seq = len(merged)
+                positions[at] = out_seq
+                deps = instruction.deps
+                if deps:
+                    deps = tuple(
+                        out_seq - positions[at - distance]
+                        for distance in deps
+                        if at - distance >= 0
+                    )
+                merged.append(
+                    Instruction(
+                        kind=instruction.kind,
+                        address=instruction.address,
+                        size=instruction.size,
+                        deps=deps,
+                    )
+                )
+            cursors[index] = stop
+        if not emitted:
+            break
+    return MemoryTrace(
+        name=name or "+".join(trace.name for trace in traces),
+        instructions=merged,
+        suite="mix",
+        layout=traces[0].layout,
+    )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Tuple
 
 
 class StreamKind(enum.Enum):

@@ -13,7 +13,7 @@ import gzip
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from repro.cpu.instruction import Instruction, InstructionKind, build_pipeline_arrays
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
@@ -127,51 +127,37 @@ class MemoryTrace:
     # Compact binary form (campaign worker shipping)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Serialize the trace to compact bytes for cross-process shipping.
+        """Serialize the trace to compact ``.rtrc`` bytes.
 
         The campaign executor pre-generates every benchmark trace once in
         the parent and ships these bytes to pool workers (instead of every
-        worker regenerating the trace from the profile).  Plain tuples are
-        pickled — no live objects — so the payload stays small and decoding
-        is a tight C loop plus one :class:`Instruction` construction per
-        record.
+        worker regenerating the trace from the profile).  The payload is the
+        ``.rtrc`` binary format (:mod:`repro.workloads.binfmt`): fixed-width
+        little-endian records that decode through one ``struct.iter_unpack``
+        pass plus one :class:`Instruction` construction per record — the
+        same bytes ``repro ingest`` writes to disk, so the worker path and
+        the trace store share a single codec.
         """
-        import pickle
+        from repro.workloads.binfmt import encode_trace
 
-        header = {
-            "name": self.name,
-            "suite": self.suite,
-            "layout": {
-                "address_bits": self.layout.address_bits,
-                "page_bytes": self.layout.page_bytes,
-                "line_bytes": self.layout.line_bytes,
-                "l1_capacity_bytes": self.layout.l1_capacity_bytes,
-                "l1_associativity": self.layout.l1_associativity,
-                "l1_banks": self.layout.l1_banks,
-                "subblock_bytes": self.layout.subblock_bytes,
-            },
-        }
-        records = [
-            (i.kind.value, i.address, i.size, i.deps) for i in self.instructions
-        ]
-        return pickle.dumps((header, records), protocol=pickle.HIGHEST_PROTOCOL)
+        return encode_trace(self)
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "MemoryTrace":
-        """Rebuild a trace serialized by :meth:`to_bytes`."""
-        import pickle
+        """Rebuild a trace serialized by :meth:`to_bytes` (``.rtrc`` bytes)."""
+        from repro.workloads.binfmt import decode_trace
 
-        header, records = pickle.loads(payload)
-        instructions = [
-            Instruction(kind=InstructionKind(kind), address=address, size=size, deps=deps)
-            for kind, address, size, deps in records
-        ]
-        return cls(
-            name=header["name"],
-            instructions=instructions,
-            suite=header.get("suite", ""),
-            layout=AddressLayout(**header["layout"]),
-        )
+        return decode_trace(payload)
+
+    def fingerprint(self) -> str:
+        """Content hash of the instruction stream and layout (hex sha256).
+
+        The hash campaign cells embed to reference ingested traces; see
+        :func:`repro.workloads.binfmt.trace_fingerprint`.
+        """
+        from repro.workloads.binfmt import trace_fingerprint
+
+        return trace_fingerprint(self)
 
     # ------------------------------------------------------------------
     # On-disk JSONL format (worker/user trace caching)

@@ -25,6 +25,7 @@ EXPECTED_SCENARIOS = {
     "fig4_mini_sweep",
     "fig4_mini_sweep_serial",
     "figure4_gzip_djpeg_mcf",
+    "trace_decode_rtrc",
 }
 
 
@@ -137,6 +138,36 @@ class TestCompareGate:
         old.write_text(json.dumps(quick_report))
         # Comparing a report against itself: no benchmarks run (instant), 0.
         assert main(["bench", "--compare", str(old), str(old)]) == 0
+
+    def test_trace_decode_reports_jsonl_comparison(self, quick_report):
+        decode = quick_report["scenarios"]["trace_decode_rtrc"]
+        assert decode["jsonl_seconds"] > 0.0
+        assert decode["speedup_vs_jsonl"] > 0.0
+        assert decode["rtrc_bytes"] > 0
+
+    def test_compare_missing_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        other = str(tmp_path / "also-nope.json")
+        assert main(["bench", "--compare", missing, other]) == 2
+        err = capsys.readouterr().err
+        assert "comparison file not found" in err and "nope.json" in err
+
+    def test_compare_corrupt_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench", "--compare", str(bad), str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_compare_non_report_json_exits_2(self, tmp_path, capsys):
+        not_report = tmp_path / "empty.json"
+        not_report.write_text("[]")
+        assert main(["bench", "--compare", str(not_report), str(not_report)]) == 2
+        assert "not a bench report" in capsys.readouterr().err
+
+    def test_single_file_compare_missing_baseline_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "base.json")
+        assert main(["bench", "--quick", "--no-write", "--compare", missing]) == 2
+        assert "comparison file not found" in capsys.readouterr().err
 
     def test_more_than_two_files_rejected(self, quick_report, tmp_path):
         old = tmp_path / "old.json"

@@ -8,7 +8,6 @@ from repro.cache.l2_cache import L2Cache
 from repro.memory.address import DEFAULT_LAYOUT
 from repro.memory.dram import DRAMModel
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.stats import StatCounters
 
 layout = DEFAULT_LAYOUT
 

@@ -1,8 +1,21 @@
 """Tests for the command-line front end."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+from repro.workloads.binfmt import load_rtrc
+from repro.workloads.registry import clear_registry
+
+DATA = Path(__file__).parent / "data"
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    clear_registry()
+    yield
+    clear_registry()
 
 
 class TestCli:
@@ -160,3 +173,129 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestIngestCli:
+    def test_convert_lackey_to_rtrc(self, capsys, tmp_path):
+        out = tmp_path / "sample.rtrc"
+        assert main(["ingest", "convert", str(DATA / "sample.lackey"), "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout and "fingerprint" in stdout
+        assert len(load_rtrc(out)) == 37
+
+    def test_convert_din_to_rtrc(self, capsys, tmp_path):
+        out = tmp_path / "sample.rtrc"
+        assert main(["ingest", "convert", str(DATA / "sample.din"), "-o", str(out)]) == 0
+        assert len(load_rtrc(out)) == 24
+
+    def test_convert_applies_transforms_in_order(self, tmp_path, capsys):
+        out = tmp_path / "out.rtrc"
+        argv = [
+            "ingest", "convert", str(DATA / "sample.din"),
+            "-o", str(out),
+            "--window", "0:20", "--skip", "4", "--stride", "2",
+        ]
+        assert main(argv) == 0
+        assert len(load_rtrc(out)) == 8  # (20 - 4) every 2nd
+
+    def test_convert_to_jsonl_output(self, tmp_path, capsys):
+        out = tmp_path / "out.jsonl.gz"
+        assert main(["ingest", "convert", str(DATA / "sample.csv"), "-o", str(out)]) == 0
+        from repro.workloads.trace import MemoryTrace
+
+        assert len(MemoryTrace.from_jsonl(out)) == 10
+
+    def test_convert_malformed_input_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lackey"
+        bad.write_text(" L 10,4\nnot a record\n")
+        assert main(["ingest", "convert", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "bad.lackey" in err
+
+    def test_convert_malformed_window_exits_2(self, tmp_path, capsys):
+        argv = [
+            "ingest", "convert", str(DATA / "sample.din"),
+            "-o", str(tmp_path / "out.rtrc"), "--window", "abc:def",
+        ]
+        assert main(argv) == 2
+        assert "START:STOP" in capsys.readouterr().err
+
+    def test_convert_missing_input_exits_2(self, tmp_path, capsys):
+        assert main(["ingest", "convert", str(tmp_path / "nope.din")]) == 2
+        assert "repro:" in capsys.readouterr().err
+
+    def test_inspect(self, capsys):
+        assert main(["ingest", "inspect", str(DATA / "sample.lackey"), str(DATA / "sample.din")]) == 0
+        stdout = capsys.readouterr().out
+        assert stdout.count("fingerprint") == 2 and "37 instr" in stdout
+
+    def test_interleave(self, capsys, tmp_path):
+        out = tmp_path / "mix.rtrc"
+        argv = [
+            "ingest", "interleave",
+            str(DATA / "sample.lackey"), str(DATA / "sample.din"),
+            "-o", str(out), "--granularity", "8", "--name", "mixed",
+        ]
+        assert main(argv) == 0
+        merged = load_rtrc(out)
+        assert merged.name == "mixed"
+        assert len(merged) == 37 + 24
+
+
+class TestTraceFileSweeps:
+    def test_sweep_runs_a_trace_file_end_to_end(self, capsys, tmp_path):
+        rtrc = tmp_path / "app.rtrc"
+        assert main(["ingest", "convert", str(DATA / "sample.lackey"), "-o", str(rtrc)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "camp"
+        argv = [
+            "sweep", "fig4-mini",
+            "--trace-file", str(rtrc),
+            "--out", str(out), "--quiet",
+        ]
+        assert main(argv) == 0
+        stdout = capsys.readouterr().out
+        assert "5 cell(s) simulated" in stdout  # the trace replaces the grid
+        # Re-running resumes every cell from the store via the content hash.
+        clear_registry()
+        assert main(argv) == 0
+        assert "0 cell(s) simulated, 5 resumed" in capsys.readouterr().out
+
+    def test_sweep_trace_file_alongside_benchmarks(self, capsys, tmp_path):
+        argv = [
+            "sweep", "fig4-mini",
+            "--benchmarks", "gzip",
+            "--trace-file", str(DATA / "sample.din"),
+            "--instructions", "400", "--quiet",
+        ]
+        assert main(argv) == 0
+        assert "10 cell(s) simulated" in capsys.readouterr().out
+
+    def test_figure4_with_trace_file(self, capsys):
+        argv = [
+            "figure4", "--trace-file", str(DATA / "sample.lackey"),
+            "--instructions", "400", "--warmup", "0.1",
+        ]
+        assert main(argv) == 0
+        stdout = capsys.readouterr().out
+        assert "sample@" in stdout and "geo. mean" in stdout
+
+    def test_figure4_without_workloads_exits_2(self, capsys):
+        assert main(["figure4"]) == 2
+        assert "benchmark names and/or --trace-file" in capsys.readouterr().err
+
+    def test_dse_with_trace_file(self, capsys, tmp_path):
+        argv = [
+            "dse", "malec-mini",
+            "--strategy", "random", "--budget", "2",
+            "--instructions", "200",
+            "--trace-file", str(DATA / "sample.din"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        assert "Pareto frontier" in capsys.readouterr().out
+
+    def test_missing_trace_file_exits_2(self, capsys, tmp_path):
+        argv = ["sweep", "fig4-mini", "--trace-file", str(tmp_path / "nope.rtrc")]
+        assert main(argv) == 2
+        assert "repro:" in capsys.readouterr().err

@@ -9,8 +9,8 @@ from repro.cpu.rob import ReorderBuffer
 
 class TestInstruction:
     def test_factories(self):
-        l, s, c = load(0x100), store(0x200), compute()
-        assert l.is_load and l.is_memory
+        ld, s, c = load(0x100), store(0x200), compute()
+        assert ld.is_load and ld.is_memory
         assert s.is_store and s.is_memory
         assert not c.is_memory
 

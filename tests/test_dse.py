@@ -33,13 +33,12 @@ from repro.dse.space import (
 )
 from repro.dse.strategies import (
     EvaluatedCandidate,
-    GridSearch,
     RandomSearch,
     SuccessiveHalving,
     strategy_by_name,
 )
 from repro.energy.accounting import EnergyReport, StructureEnergy
-from repro.sim.config import InterfaceKind, SimulationConfig
+from repro.sim.config import InterfaceKind
 from repro.sim.simulator import SimulationResult
 
 # Tiny space used by every integration test: 2x2 grid over two

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.energy.accounting import EnergyAccountant, EnergyReport, StructureEnergy
 from repro.energy.cacti import CactiParameters, SRAMArraySpec, SRAMEnergyModel
-from repro.energy.energy_model import EnergyModelConfig, InterfaceEnergyModel, build_energy_model
+from repro.energy.energy_model import EnergyModelConfig, build_energy_model
 from repro.stats import StatCounters
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cpu.instruction import Instruction, compute, load, store
+from repro.cpu.instruction import compute, load, store
 from repro.cpu.pipeline import OutOfOrderPipeline
 from repro.sim.config import SimulationConfig
 from repro.workloads.trace import MemoryTrace

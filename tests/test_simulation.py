@@ -7,7 +7,7 @@ from repro.analysis.experiments import ExperimentRunner
 from repro.analysis.reporting import format_table, geometric_mean, normalize
 from repro.energy.energy_model import EnergyModelConfig
 from repro.sim.config import InterfaceKind, MalecParameters, SimulationConfig
-from repro.sim.simulator import Simulator, run_configuration
+from repro.sim.simulator import run_configuration
 from repro.workloads.suites import benchmark_profile
 from repro.workloads.synthetic import generate_trace
 

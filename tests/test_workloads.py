@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.locality import PageLocalityAnalyzer, RUN_LENGTH_BUCKETS
-from repro.cpu.instruction import InstructionKind
 from repro.memory.address import DEFAULT_LAYOUT
 from repro.workloads.profiles import BenchmarkProfile, StreamKind, StreamSpec
 from repro.workloads.suites import (
