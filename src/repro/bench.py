@@ -39,6 +39,7 @@ golden tests check that) while moving these numbers down.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -276,32 +277,80 @@ def detect_revision(default: str = "worktree") -> str:
     return revision if completed.returncode == 0 and revision else default
 
 
+def host_metadata(revision: Optional[str] = None) -> dict:
+    """The host facts that make two bench records (in)comparable.
+
+    Recorded in every report; ``--compare`` warns when they differ, because
+    a timing delta between different machines, core counts or interpreter
+    versions measures the hosts, not the code.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "revision": revision if revision is not None else detect_revision(),
+    }
+
+
+#: scenario name -> builder; the canonical ordering of a full bench run
+SCENARIO_NAMES = (
+    "trace_generation",
+    "single_config_run",
+    "fig4_mini_sweep",
+    "fig4_mini_sweep_serial",
+    "figure4_gzip_djpeg_mcf",
+    "trace_decode_rtrc",
+)
+
+
+def _scenario_builders(instructions: int, sweep_instructions: int, repeats: int):
+    return {
+        "trace_generation": lambda: bench_trace_generation(instructions, repeats),
+        "single_config_run": lambda: bench_single_config_run(instructions, repeats),
+        "fig4_mini_sweep": lambda: bench_fig4_mini_sweep(
+            sweep_instructions, repeats
+        ),
+        "fig4_mini_sweep_serial": lambda: bench_fig4_mini_sweep_serial(
+            sweep_instructions, repeats
+        ),
+        "figure4_gzip_djpeg_mcf": lambda: bench_figure4_acceptance(
+            instructions, repeats
+        ),
+        "trace_decode_rtrc": lambda: bench_trace_decode(instructions, repeats),
+    }
+
+
 def run_benchmarks(
     instructions: int = 4000,
     sweep_instructions: int = 2000,
     repeats: int = 3,
     quick: bool = False,
     label: Optional[str] = None,
+    scenarios: Optional[List[str]] = None,
 ) -> dict:
-    """Execute every scenario and return the complete report dictionary.
+    """Execute the scenarios and return the complete report dictionary.
 
     ``quick`` shrinks the workloads to a few hundred instructions and one
     repeat — enough for CI to prove the harness runs, useless for comparing
-    performance.
+    performance.  ``scenarios`` restricts the run to the named subset (in
+    canonical order); unknown names raise ``ValueError``.
     """
     if quick:
         instructions = min(instructions, 600)
         sweep_instructions = min(sweep_instructions, 400)
         repeats = 1
     revision = detect_revision()
-    scenarios = [
-        bench_trace_generation(instructions, repeats),
-        bench_single_config_run(instructions, repeats),
-        bench_fig4_mini_sweep(sweep_instructions, repeats),
-        bench_fig4_mini_sweep_serial(sweep_instructions, repeats),
-        bench_figure4_acceptance(instructions, repeats),
-        bench_trace_decode(instructions, repeats),
-    ]
+    builders = _scenario_builders(instructions, sweep_instructions, repeats)
+    selected = list(SCENARIO_NAMES) if scenarios is None else list(scenarios)
+    unknown = [name for name in selected if name not in builders]
+    if unknown:
+        raise ValueError(
+            f"unknown bench scenario(s) {', '.join(sorted(unknown))}; "
+            f"choose from {', '.join(SCENARIO_NAMES)}"
+        )
+    ordered = [name for name in SCENARIO_NAMES if name in selected]
+    results = [builders[name]() for name in ordered]
     return {
         "schema": SCHEMA_VERSION,
         "label": label or revision,
@@ -309,14 +358,15 @@ def run_benchmarks(
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host": host_metadata(revision),
         "params": {
             "instructions": instructions,
             "sweep_instructions": sweep_instructions,
             "repeats": repeats,
             "quick": quick,
         },
-        "scenarios": {result.name: result.as_dict() for result in scenarios},
-        "total_seconds": sum(result.seconds for result in scenarios),
+        "scenarios": {result.name: result.as_dict() for result in results},
+        "total_seconds": sum(result.seconds for result in results),
     }
 
 
@@ -369,10 +419,37 @@ def format_report(report: dict) -> str:
     return "\n".join(lines)
 
 
-def compare_reports(before: dict, after: dict) -> str:
+def compare_host_warnings(before: dict, after: dict) -> List[str]:
+    """Host-metadata mismatches that make ``before``/``after`` incomparable.
+
+    Revision is excluded on purpose — comparing two revisions is the whole
+    point of ``--compare``.  Reports written before host metadata existed
+    fall back to their top-level python/platform fields.
+    """
+    fallback_keys = ("python", "platform")
+    old = before.get("host") or {k: before.get(k) for k in fallback_keys}
+    new = after.get("host") or {k: after.get(k) for k in fallback_keys}
+    warnings: List[str] = []
+    for key in ("cpu_count", "machine", "platform", "python"):
+        old_value, new_value = old.get(key), new.get(key)
+        if old_value is None or new_value is None:
+            continue
+        if old_value != new_value:
+            warnings.append(
+                f"host {key} differs: {old_value} (before) vs {new_value} "
+                "(after) — timings are not directly comparable"
+            )
+    return warnings
+
+
+def compare_reports(
+    before: dict, after: dict, scenarios: Optional[List[str]] = None
+) -> str:
     """Speedup table between two reports (``before`` / ``after``)."""
     lines = [f"speedup {before['label']} -> {after['label']}"]
     for name, scenario in after["scenarios"].items():
+        if scenarios is not None and name not in scenarios:
+            continue
         reference = before["scenarios"].get(name)
         if reference is None or not scenario["seconds"]:
             continue
@@ -384,14 +461,23 @@ def compare_reports(before: dict, after: dict) -> str:
     return "\n".join(lines)
 
 
-def find_regressions(before: dict, after: dict, threshold_pct: float) -> List[str]:
+def find_regressions(
+    before: dict,
+    after: dict,
+    threshold_pct: float,
+    scenarios: Optional[List[str]] = None,
+) -> List[str]:
     """Scenarios of ``after`` slower than ``before`` by more than the threshold.
 
     Only scenarios present in both reports are considered (a renamed or new
-    scenario has no baseline to regress against).
+    scenario has no baseline to regress against); ``scenarios`` restricts
+    the gate further — the CI disabled-overhead check gates only the
+    simulator hot-path scenarios at a tight threshold.
     """
     regressions: List[str] = []
     for name, scenario in after["scenarios"].items():
+        if scenarios is not None and name not in scenarios:
+            continue
         reference = before["scenarios"].get(name)
         if reference is None or not reference["seconds"]:
             continue
@@ -442,6 +528,7 @@ def main_bench(args) -> int:
     """
     compare = args.compare or []
     threshold = args.threshold
+    scenarios = getattr(args, "scenarios", None)
     if len(compare) > 2:
         print("--compare takes at most two files (OLD.json NEW.json)")
         return 2
@@ -451,9 +538,14 @@ def main_bench(args) -> int:
         after = _load_report_checked(compare[1])
         if before is None or after is None:
             return 2
-        print(compare_reports(before, after))
+        for warning in compare_host_warnings(before, after):
+            print(f"repro bench: warning: {warning}", file=sys.stderr)
+        print(compare_reports(before, after, scenarios=scenarios))
         regressions = find_regressions(
-            before, after, threshold if threshold is not None else 20.0
+            before,
+            after,
+            threshold if threshold is not None else 20.0,
+            scenarios=scenarios,
         )
         if regressions:
             print("regression beyond threshold:")
@@ -462,13 +554,19 @@ def main_bench(args) -> int:
             return 1
         return 0
 
-    report = run_benchmarks(
-        instructions=args.instructions,
-        sweep_instructions=args.sweep_instructions,
-        repeats=args.repeats,
-        quick=args.quick,
-        label=args.label,
-    )
+    try:
+        report = run_benchmarks(
+            instructions=args.instructions,
+            sweep_instructions=args.sweep_instructions,
+            repeats=args.repeats,
+            quick=args.quick,
+            label=args.label,
+            scenarios=scenarios,
+        )
+    except ValueError as error:
+        # Unknown --scenarios names: a usage error, not a traceback.
+        print(f"repro bench: {error}", file=sys.stderr)
+        return 2
     print(format_report(report))
     if not args.no_write:
         out_dir = args.out if args.out is not None else default_output_dir()
@@ -478,9 +576,13 @@ def main_bench(args) -> int:
         before = _load_report_checked(compare[0])
         if before is None:
             return 2
-        print(compare_reports(before, report))
+        for warning in compare_host_warnings(before, report):
+            print(f"repro bench: warning: {warning}", file=sys.stderr)
+        print(compare_reports(before, report, scenarios=scenarios))
         if threshold is not None:
-            regressions = find_regressions(before, report, threshold)
+            regressions = find_regressions(
+                before, report, threshold, scenarios=scenarios
+            )
             if regressions:
                 print("regression beyond threshold:")
                 for line in regressions:

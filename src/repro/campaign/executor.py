@@ -35,16 +35,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.experiments import BenchmarkRun, ExperimentResults
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
 from repro.sim.simulator import SimulationResult, run_configuration
 from repro.workloads.registry import registered_trace, workload_suite
 from repro.workloads.suites import benchmark_profile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import MemoryTrace
+
+logger = get_logger(__name__)
 
 #: (benchmark, instructions, trace seed, trace hash) -> resolved trace; the
 #: hash is empty for synthetic workloads and pins the content of ingested
@@ -117,15 +122,21 @@ def _init_worker(trace_bytes: Dict[TraceKey, bytes]) -> None:
     _WORKER_TRACE_BYTES.update(trace_bytes)
 
 
-def _pool_cell(cell: CampaignCell) -> Tuple[str, dict]:
+def _pool_cell(cell: CampaignCell) -> Tuple[str, dict, Tuple[int, float, float]]:
     """Process-pool task: simulate one cell.
 
     The worker finds the cell's trace in its per-process cache (decoded once
     from the initializer's bytes).  Results cross the process boundary as
     plain dictionaries (the store's JSON shape) rather than live objects,
     keeping the pickled payload small and identical to what lands on disk.
+    The third element is the observation timing — ``(worker pid, start, end)``
+    in epoch seconds — from which the parent derives worker utilisation and
+    wall-clock trace spans (two clock reads per multi-millisecond cell, so it
+    rides along unconditionally).
     """
-    return cell.key(), result_to_dict(_execute_cell(cell, _PROCESS_TRACES))
+    start = time.time()
+    payload = result_to_dict(_execute_cell(cell, _PROCESS_TRACES))
+    return cell.key(), payload, (os.getpid(), start, time.time())
 
 
 class ParallelExecutor:
@@ -145,6 +156,11 @@ class ParallelExecutor:
         Optional externally-owned trace cache used by the serial path, so a
         caller running several sweeps (e.g. :class:`ExperimentRunner`) reuses
         generated traces across runs.  Defaults to the process-wide cache.
+    trace_log:
+        Optional :class:`repro.obs.traceevent.TraceEventLog` (duck-typed).
+        When given, every executed cell is recorded as a wall-clock span on
+        its worker's track (serial cells on the parent's), viewable in
+        Perfetto / ``chrome://tracing``.
     """
 
     def __init__(
@@ -153,6 +169,7 @@ class ParallelExecutor:
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
         trace_cache: Optional[TraceCache] = None,
+        trace_log=None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -164,9 +181,12 @@ class ParallelExecutor:
         self.trace_cache: TraceCache = (
             trace_cache if trace_cache is not None else _PROCESS_TRACES
         )
+        self.trace_log = trace_log
         #: cells loaded from the store / freshly simulated by the last run()
         self.skipped_cells: List[CampaignCell] = []
         self.completed_cells: List[CampaignCell] = []
+        #: (cell, worker pid, start, end) epoch timings of executed cells
+        self.cell_timings: List[Tuple[CampaignCell, int, float, float]] = []
         #: True if the last run() actually used a process pool
         self.used_pool = False
 
@@ -175,6 +195,7 @@ class ParallelExecutor:
         """Execute ``spec`` and return the assembled sweep results."""
         self.skipped_cells = []
         self.completed_cells = []
+        self.cell_timings = []
         self.used_pool = False
         if self.store is not None:
             self.store.write_manifest(spec)
@@ -182,6 +203,7 @@ class ParallelExecutor:
         cells = spec.cells()
         total = len(cells)
         done = 0
+        started = time.perf_counter()
         results: Dict[str, SimulationResult] = {}
 
         pending: List[CampaignCell] = []
@@ -195,19 +217,73 @@ class ParallelExecutor:
             else:
                 pending.append(cell)
 
+        logger.debug(
+            "campaign: %d cells (%d stored, %d pending), jobs=%d",
+            total,
+            len(self.skipped_cells),
+            len(pending),
+            self.jobs,
+        )
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 done = self._run_pool(pending, results, done, total)
             # Any cells a broken pool failed to deliver fall through to the
             # serial path, which always finishes the sweep.
             remaining = [cell for cell in pending if cell.key() not in results]
+            parent_pid = os.getpid()
             for cell in remaining:
+                start = time.time()
                 result = _execute_cell(cell, self.trace_cache)
+                self._observe_cell(cell, parent_pid, start, time.time())
                 done = self._record(cell, result, results, done, total)
 
+        self._flush_run_observations(time.perf_counter() - started)
         return self._assemble(spec, results)
 
     # ------------------------------------------------------------------
+    def _observe_cell(
+        self, cell: CampaignCell, pid: int, start: float, end: float
+    ) -> None:
+        """Record one executed cell's timing (trace span + timing list)."""
+        self.cell_timings.append((cell, pid, start, end))
+        log = self.trace_log
+        if log is not None:
+            log.name_process(pid, "repro worker" if pid != os.getpid() else "repro")
+            log.add_span(
+                f"{cell.benchmark} {cell.config.name}",
+                "campaign.cell",
+                start * 1e6,
+                (end - start) * 1e6,
+                pid=pid,
+                args={
+                    "benchmark": cell.benchmark,
+                    "config": cell.config.name,
+                    "instructions": cell.instructions,
+                },
+            )
+
+    def _flush_run_observations(self, elapsed: float) -> None:
+        """Flush the run's aggregate metrics (one shot, only when enabled)."""
+        if not obs_metrics.enabled():
+            return
+        registry = obs_metrics.registry
+        completed = len(self.completed_cells)
+        registry.counter("campaign.cells_completed").inc(completed)
+        registry.counter("campaign.cells_skipped").inc(len(self.skipped_cells))
+        registry.gauge("campaign.cells_per_sec").set(
+            completed / elapsed if elapsed > 0 else 0.0
+        )
+        durations = registry.histogram("campaign.cell_seconds")
+        busy_by_pid: Dict[int, float] = {}
+        for _cell, pid, start, end in self.cell_timings:
+            durations.observe(end - start)
+            busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + (end - start)
+        registry.gauge("campaign.workers").set(len(busy_by_pid))
+        for index, pid in enumerate(sorted(busy_by_pid)):
+            registry.gauge(f"campaign.worker_utilization.{index}").set(
+                busy_by_pid[pid] / elapsed if elapsed > 0 else 0.0
+            )
+
     def _report(self, event: str, cell: CampaignCell, done: int, total: int) -> None:
         if self.progress is not None:
             self.progress(event, cell, done, total)
@@ -266,16 +342,25 @@ class ParallelExecutor:
                 processes=workers, initializer=_init_worker, initargs=(payloads,)
             ) as pool:
                 self.used_pool = True
-                for key, payload in pool.imap_unordered(
+                for key, payload, (pid, start, end) in pool.imap_unordered(
                     _pool_cell, pending, chunksize=chunksize
                 ):
+                    cell = by_key[key]
+                    self._observe_cell(cell, pid, start, end)
                     done = self._record(
-                        by_key[key], result_from_dict(payload), results, done, total
+                        cell, result_from_dict(payload), results, done, total
                     )
-        except (OSError, PermissionError, RuntimeError, ImportError):
+        except (OSError, PermissionError, RuntimeError, ImportError) as error:
             # BrokenProcessPool/BrokenPipe style failures land here; finish
             # serially with whatever is left.
-            pass
+            logger.warning(
+                "campaign: process pool failed (%s: %s); finishing the "
+                "remaining cells serially",
+                type(error).__name__,
+                error,
+            )
+            if obs_metrics.enabled():
+                obs_metrics.registry.counter("campaign.pool_fallbacks").inc()
         return done
 
     # ------------------------------------------------------------------

@@ -52,6 +52,27 @@ directory layout):
     anything and exits non-zero on regression beyond the threshold (the CI
     bench-regression gate).
 
+``report``
+    Run benchmarks with the observation collector attached and print the
+    per-run cycle-attribution breakdown (categories partition the run and
+    sum to total cycles) plus the per-structure energy split.
+    ``--timeline FILE`` additionally exports a sampled simulator timeline
+    (ROB / load-queue / store-buffer / merge-buffer occupancy over cycles)
+    as Chrome trace-event JSON for Perfetto / ``chrome://tracing``.
+
+``profile``
+    Profile one bench scenario under cProfile: a cumulative-time top-N
+    table on stdout, plus ``--collapsed FILE`` writing flamegraph-ready
+    collapsed stacks.
+
+Global observability flags (before the sub-command): ``--verbose`` /
+``--quiet`` / ``--log-json`` configure the library's stderr logging,
+``--metrics`` switches the metrics registry on and dumps its snapshot to
+stderr on exit; ``sweep``/``dse`` accept ``--trace-out FILE`` to export
+wall-clock campaign spans (per-worker cell execution, DSE rung boundaries)
+as Chrome trace-event JSON.  Interactive terminals get a self-updating
+progress line on ``sweep``/``dse``/``figure4``.
+
 Examples::
 
     python -m repro compare gzip
@@ -67,12 +88,16 @@ Examples::
     python -m repro locality h263dec swim
     python -m repro bench --quick
     python -m repro bench --compare BENCH_old.json BENCH_new.json --threshold 20
+    python -m repro report gzip --config MALEC --timeline timeline.json
+    python -m repro --metrics sweep fig4-mini --trace-out sweep-trace.json
+    python -m repro profile fig4_mini_sweep_serial --collapsed stacks.txt
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -92,6 +117,13 @@ from repro.dse.objectives import (
 )
 from repro.dse.space import SPACE_PRESET_NAMES, space_preset
 from repro.dse.strategies import STRATEGY_NAMES
+from repro.obs import metrics as obs_metrics
+from repro.obs.attribution import attribute_run, format_attribution
+from repro.obs.collector import RunCollector
+from repro.obs.logs import configure as configure_logging
+from repro.obs.logs import run_context
+from repro.obs.progress import ProgressReporter
+from repro.obs.traceevent import TraceEventLog
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import run_configuration
 from repro.workloads.binfmt import TraceFormatError, dump_rtrc
@@ -104,7 +136,11 @@ from repro.workloads.ingest import (
     subsample,
     window,
 )
-from repro.workloads.registry import register_trace, validate_workload
+from repro.workloads.registry import (
+    register_trace,
+    registered_trace,
+    validate_workload,
+)
 from repro.workloads.suites import EXTENDED_BENCHMARKS, benchmark_profile
 from repro.workloads.synthetic import generate_trace
 
@@ -233,6 +269,31 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'MALEC: A Multiple Access Low Energy Cache' (DATE 2013)",
     )
+    # Global observability flags: placed before the sub-command.  The global
+    # --quiet uses its own dest so it never collides with the sweep/dse
+    # progress --quiet (which stays a sub-command flag).
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log DEBUG and up from the library (stderr)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        dest="log_quiet",
+        help="log only errors from the library",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit library logs as one JSON object per line",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect operational metrics and dump the registry snapshot "
+        "as JSON to stderr on exit (off by default; never affects results)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     compare = commands.add_parser(
@@ -306,6 +367,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
+    sweep.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export per-worker cell-execution spans as Chrome trace-event "
+        "JSON (open in Perfetto / chrome://tracing)",
     )
     _add_trace_file_option(sweep)
 
@@ -388,6 +456,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     dse.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
+    dse.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="export batch/rung boundaries and per-worker cell spans as "
+        "Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
     )
     _add_trace_file_option(dse)
 
@@ -522,6 +597,93 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-write", action="store_true", help="print timings only, write nothing"
     )
+    bench.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="restrict the run and any --compare gate to these scenarios "
+        "(default: all)",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="run benchmarks with the collector attached; print cycle and "
+        "energy attribution",
+    )
+    report.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="benchmark",
+        help="benchmark profiles to attribute (default: the fig4-mini trio)",
+    )
+    report.add_argument(
+        "--config",
+        action="append",
+        default=None,
+        dest="configs",
+        metavar="NAME",
+        help=f"configuration(s) to run, from: {', '.join(_FIG4_ORDER)} "
+        "(repeatable; default: all five)",
+    )
+    _add_common_options(report)
+    report.add_argument(
+        "--timeline",
+        default=None,
+        metavar="FILE",
+        help="export the sampled simulator timeline (structure occupancy "
+        "over cycles) as Chrome trace-event JSON",
+    )
+    report.add_argument(
+        "--sample-every",
+        type=_positive_int,
+        default=100,
+        metavar="N",
+        help="timeline sampling period in cycles (default: 100)",
+    )
+    report.add_argument(
+        "--json",
+        default=None,
+        dest="json_out",
+        metavar="FILE",
+        help="also write every attribution as a JSON array to FILE",
+    )
+    _add_trace_file_option(report)
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile a bench scenario under cProfile (flamegraph-ready "
+        "collapsed stacks with --collapsed)",
+    )
+    profile.add_argument(
+        "scenario",
+        metavar="scenario",
+        help="bench scenario to profile (see `repro profile --list`)",
+        nargs="?",
+        default=None,
+    )
+    profile.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the available scenarios and exit",
+    )
+    profile.add_argument(
+        "--instructions",
+        type=_positive_int,
+        default=4000,
+        help="trace length for the profiled workload (default: 4000)",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=25,
+        help="rows in the cumulative-time table (default: 25)",
+    )
+    profile.add_argument(
+        "--collapsed",
+        default=None,
+        metavar="FILE",
+        help="write collapsed stacks (flamegraph.pl / speedscope input)",
+    )
 
     commands.add_parser("list", help="list the available benchmark profiles")
     return parser
@@ -572,19 +734,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cell_progress(quiet: bool):
-    """Per-cell progress printer shared by ``sweep`` and ``dse``."""
+def _cell_progress(
+    quiet: bool, fallback_lines: bool = True
+) -> Optional[ProgressReporter]:
+    """Per-cell progress reporter shared by ``sweep``/``dse``/``figure4``.
 
-    def progress(event: str, cell, done: int, total: int) -> None:
-        if quiet:
-            return
-        label = "skip" if event == "skipped" else "run "
-        print(
-            f"[{done:>4d}/{total}] {label} {cell.benchmark:<12s} {cell.config.name}",
-            file=sys.stderr,
-        )
+    Interactive terminals get one self-updating line (done/total, cells/s,
+    ETA); non-interactive streams fall back to a plain line per cell when
+    ``fallback_lines`` (the historical behaviour) or stay silent otherwise.
+    """
+    if quiet:
+        return None
+    return ProgressReporter(fallback_lines=fallback_lines)
 
-    return progress
+
+def _write_trace_log(trace_log: Optional[TraceEventLog], path: Optional[str]) -> None:
+    """Persist a trace-event log collected behind ``--trace-out``."""
+    if trace_log is None or path is None:
+        return
+    trace_log.write(Path(path))
+    print(f"trace events written to {path} ({len(trace_log)} events)")
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -606,11 +775,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup_fraction=args.warmup,
     )
     store = ResultStore(args.out) if args.out is not None else None
+    trace_log = TraceEventLog() if args.trace_out else None
+    progress = _cell_progress(args.quiet)
 
     executor = ParallelExecutor(
-        jobs=args.jobs, store=store, progress=_cell_progress(args.quiet)
+        jobs=args.jobs, store=store, progress=progress, trace_log=trace_log
     )
     results = executor.run(spec)
+    if progress is not None:
+        progress.finish()
+    _write_trace_log(trace_log, args.trace_out)
     ran, skipped = len(executor.completed_cells), len(executor.skipped_cells)
     print(
         f"campaign '{spec.name}': {ran} cell(s) simulated, {skipped} resumed "
@@ -664,6 +838,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         print(f"repro: {error}", file=sys.stderr)
         return 2
     store = ResultStore(args.out) if args.out is not None else None
+    trace_log = TraceEventLog() if args.trace_out else None
+    progress = _cell_progress(args.quiet)
     result = run_dse(
         space,
         strategy=args.strategy,
@@ -672,8 +848,12 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         store=store,
         seed=args.seed,
-        progress=_cell_progress(args.quiet),
+        progress=progress,
+        trace_log=trace_log,
     )
+    if progress is not None:
+        progress.finish()
+    _write_trace_log(trace_log, args.trace_out)
 
     print(
         f"space '{space.name}': {space.size} points, strategy {result.strategy}, "
@@ -721,7 +901,13 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         benchmarks=workloads,
         warmup_fraction=args.warmup,
     )
-    results = runner.run(SimulationConfig.figure4_suite(), jobs=args.jobs)
+    # Interactive-only progress: non-TTY figure4 output stays exactly the
+    # final table, as before (fallback_lines=False).
+    progress = _cell_progress(quiet=False, fallback_lines=False)
+    results = runner.run(
+        SimulationConfig.figure4_suite(), jobs=args.jobs, progress=progress
+    )
+    progress.finish()
     rows = []
     for run in results.runs:
         cycles = run.normalized_cycles("Base1ldst")
@@ -817,9 +1003,123 @@ def _cmd_locality(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point used by ``python -m repro`` and the console script."""
-    args = _build_parser().parse_args(argv)
+#: default ``repro report`` workloads: the fig4-mini trio
+_REPORT_BENCHMARKS = ("gzip", "swim", "djpeg")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        workloads = _merge_workloads(args.benchmarks or None, args.trace_files)
+    except (TraceParseError, TraceFormatError, OSError, ValueError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    if not workloads:
+        workloads = list(_REPORT_BENCHMARKS)
+    try:
+        for name in workloads:
+            validate_workload(name)
+    except KeyError as error:
+        print(f"repro: {error.args[0]}", file=sys.stderr)
+        return 2
+    suite = {config.name: config for config in SimulationConfig.figure4_suite()}
+    config_names = args.configs if args.configs else list(_FIG4_ORDER)
+    configs = []
+    for name in config_names:
+        if name not in suite:
+            print(
+                f"repro: unknown configuration {name!r}; choose from "
+                f"{', '.join(_FIG4_ORDER)}",
+                file=sys.stderr,
+            )
+            return 2
+        configs.append(suite[name])
+
+    timeline = TraceEventLog() if args.timeline else None
+    attributions = []
+    first = True
+    for benchmark in workloads:
+        trace = registered_trace(benchmark)
+        if trace is None:
+            trace = generate_trace(
+                benchmark_profile(benchmark), instructions=args.instructions
+            )
+        for pid, config in enumerate(configs):
+            collector = RunCollector(
+                sample_every=args.sample_every if timeline is not None else 0
+            )
+            result = run_configuration(
+                config, trace, warmup_fraction=args.warmup, collector=collector
+            )
+            attribution = attribute_run(benchmark, result, collector)
+            # The partition invariant (categories sum to total cycles) is a
+            # hard guarantee; a violation is an engine bug, so let it raise.
+            attribution.check()
+            attributions.append(attribution)
+            if not first:
+                print()
+            first = False
+            print(format_attribution(attribution))
+            if timeline is not None:
+                track = len(attributions) - 1
+                timeline.name_process(track, f"{benchmark} {config.name}")
+                for cycle, rob, lq, sb, mb in collector.samples:
+                    # Simulator timelines map cycles to trace microseconds.
+                    timeline.add_counter(
+                        "occupancy",
+                        "sim.occupancy",
+                        float(cycle),
+                        {"rob": rob, "lq": lq, "sb": sb, "mb": mb},
+                        pid=track,
+                    )
+    if timeline is not None:
+        print()
+        _write_trace_log(timeline, args.timeline)
+    if args.json_out:
+        payload = json.dumps(
+            [attribution.as_dict() for attribution in attributions],
+            indent=1,
+            sort_keys=True,
+        )
+        target = Path(args.json_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(payload + "\n")
+        print(f"attribution JSON written to {args.json_out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    # Imported lazily: pulling in repro.bench (and its workload imports) is
+    # only worth it when actually profiling.
+    from repro.obs.profile import PROFILE_SCENARIOS, run_profile
+
+    if args.list_scenarios:
+        for name in sorted(PROFILE_SCENARIOS):
+            print(name)
+        return 0
+    if args.scenario is None:
+        print("repro: profile needs a scenario (or --list)", file=sys.stderr)
+        return 2
+    try:
+        report, stack_lines = run_profile(
+            args.scenario,
+            instructions=args.instructions,
+            top=args.top,
+            collapsed_out=args.collapsed,
+        )
+    except KeyError:
+        print(
+            f"repro: unknown scenario {args.scenario!r}; choose from "
+            f"{', '.join(sorted(PROFILE_SCENARIOS))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(report, end="")
+    if args.collapsed:
+        print(f"collapsed stacks written to {args.collapsed} ({stack_lines} lines)")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "compare":
@@ -834,11 +1134,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_ingest(args)
     if args.command == "locality":
         return _cmd_locality(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "bench":
         from repro.bench import main_bench
 
         return main_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = _build_parser().parse_args(argv)
+    configure_logging(
+        verbose=args.verbose, quiet=args.log_quiet, json_lines=args.log_json
+    )
+    if args.metrics:
+        obs_metrics.enable()
+    try:
+        with run_context(args.command):
+            return _dispatch(args)
+    finally:
+        if args.metrics:
+            print(
+                json.dumps(
+                    obs_metrics.registry.snapshot(), indent=1, sort_keys=True
+                ),
+                file=sys.stderr,
+            )
+            obs_metrics.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -119,6 +119,7 @@ class OutOfOrderPipeline:
         max_cycles: Optional[int] = None,
         enable_fast_forward: bool = True,
         scheduler: str = "event",
+        collector=None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(f"scheduler {scheduler!r} not in {SCHEDULERS}")
@@ -129,6 +130,12 @@ class OutOfOrderPipeline:
         self.rob = ReorderBuffer(params.rob_entries)
         self.enable_fast_forward = enable_fast_forward
         self.scheduler = scheduler
+        #: optional repro.obs.collector.RunCollector (duck-typed so this
+        #: module does not import obs).  Strictly observational: category
+        #: counts and occupancy samples accumulate in loop locals and flush
+        #: once per run, and nothing it collects feeds back into stats or
+        #: results — attaching one cannot perturb bit-identity.
+        self.collector = collector
         #: idle cycles skipped (fast-forward / event jumps) in the last run()
         self.fast_forwarded_cycles = 0
 
@@ -271,6 +278,21 @@ class OutOfOrderPipeline:
 
         bucket_latency_ok = compute_latency == 1
 
+        # Observation plumbing: every cycle is classified into exactly one
+        # category (deltas of the loop's own counters decide which), tallied
+        # in locals and flushed into the collector once after the run.
+        collector = self.collector
+        collecting = collector is not None
+        cat_commit = cat_issue = cat_frontend = 0
+        cat_memory = cat_buffer = cat_idle = cat_ff = 0
+        events_seen = 0
+        sample_every = collector.sample_every if collecting else 0
+        next_sample = sample_every if sample_every else NEVER
+        if sample_every:
+            occ_lq = getattr(interface, "load_queue", None)
+            occ_sb = getattr(interface, "store_buffer", None)
+            occ_mb = getattr(interface, "merge_buffer", None)
+
         # The interface may carry state from a warm-up run of the same trace;
         # start ticking it unless it positively reports itself idle.
         interface_active = quiescent is None or not quiescent()
@@ -281,6 +303,10 @@ class OutOfOrderPipeline:
                     f"pipeline exceeded {max_cycles} cycles; likely deadlock "
                     f"({committed}/{total} committed)"
                 )
+            if collecting:
+                commit_before = committed
+                issue_before = issued_total
+                fetch_before = next_fetch
 
             # ----------------------------------------------------------
             # 1. Retire completions scheduled for this cycle.  Processing
@@ -292,6 +318,8 @@ class OutOfOrderPipeline:
             if due_next:
                 due_now = due_next
                 due_next = []
+                if collecting:
+                    events_seen += len(due_now)
                 for seq in due_now:
                     if completed_f[seq]:
                         continue
@@ -306,7 +334,10 @@ class OutOfOrderPipeline:
                             if left == 0 and not issued_f[consumer]:
                                 heappush(ready_heap, consumer)
             if wheel_next <= cycle:
-                for seq in pop_due(cycle):
+                wheel_due = pop_due(cycle)
+                if collecting:
+                    events_seen += len(wheel_due)
+                for seq in wheel_due:
                     if completed_f[seq]:
                         continue
                     completed_f[seq] = 1
@@ -508,6 +539,35 @@ class OutOfOrderPipeline:
                     fetched += 1
                 dispatched_total += fetched
 
+            # ----------------------------------------------------------
+            # Observation: classify this cycle (one category per counted
+            # cycle; first match wins) and sample structure occupancy.
+            # ``interface_active`` still reflects activity *during* this
+            # cycle — the disarm check below runs after classification.
+            # ----------------------------------------------------------
+            if collecting:
+                if committed > commit_before:
+                    cat_commit += 1
+                elif issued_total > issue_before:
+                    cat_issue += 1
+                elif next_fetch > fetch_before:
+                    cat_frontend += 1
+                elif interface_active:
+                    cat_memory += 1
+                elif deferred:
+                    cat_buffer += 1
+                else:
+                    cat_idle += 1
+                if cycles_counted >= next_sample:
+                    next_sample += sample_every
+                    collector.sample(
+                        cycle,
+                        rob_len,
+                        occ_lq.occupancy if occ_lq is not None else 0,
+                        occ_sb.occupancy if occ_sb is not None else 0,
+                        occ_mb.occupancy if occ_mb is not None else 0,
+                    )
+
             cycle += 1
 
             # ----------------------------------------------------------
@@ -563,6 +623,8 @@ class OutOfOrderPipeline:
                 skipped = wheel_next - cycle
                 cycles_counted += skipped
                 self.fast_forwarded_cycles += skipped
+                if collecting:
+                    cat_ff += skipped
                 cycle = wheel_next
 
         total_cycles = last_commit_cycle + 1
@@ -574,6 +636,20 @@ class OutOfOrderPipeline:
         stats.add("pipeline.dispatched", dispatched_total)
         stats.set("pipeline.total_cycles", total_cycles)
         stats.set("pipeline.committed", committed)
+        if collecting:
+            # Every loop iteration classified exactly one counted cycle and
+            # every jump accounted its skipped stretch, so the categories sum
+            # to ``cycles_counted`` == ``total_cycles`` by construction.
+            collector.record_categories(
+                cat_commit,
+                cat_issue,
+                cat_frontend,
+                cat_memory,
+                cat_buffer,
+                cat_idle,
+                cat_ff,
+            )
+            collector.record_run(total_cycles, total, events_seen)
         return PipelineResult(
             cycles=total_cycles,
             instructions=total,
@@ -649,12 +725,24 @@ class OutOfOrderPipeline:
 
         bucket_latency_ok = compute_latency == 1
 
+        # Observation plumbing (same categories as the event-driven loop so
+        # identity tests can compare attributions across schedulers; no
+        # occupancy sampling here — the reference loop is not a perf path).
+        collector = self.collector
+        collecting = collector is not None
+        cat_commit = cat_issue = cat_frontend = 0
+        cat_memory = cat_buffer = cat_idle = cat_ff = 0
+
         while committed < total:
             if cycle > max_cycles:
                 raise RuntimeError(
                     f"pipeline exceeded {max_cycles} cycles; likely deadlock "
                     f"({committed}/{total} committed)"
                 )
+            if collecting:
+                commit_before = committed
+                issue_before = issued_total
+                fetch_before = next_fetch
             begin_cycle(cycle)
 
             # ----------------------------------------------------------
@@ -843,6 +931,23 @@ class OutOfOrderPipeline:
                     fetched += 1
                 dispatched_total += fetched
 
+            # Observation: classify this cycle (mirrors the event-driven
+            # loop; the interface's post-tick quiescence stands in for its
+            # ``interface_active`` flag).
+            if collecting:
+                if committed > commit_before:
+                    cat_commit += 1
+                elif issued_total > issue_before:
+                    cat_issue += 1
+                elif next_fetch > fetch_before:
+                    cat_frontend += 1
+                elif quiescent is not None and not quiescent():
+                    cat_memory += 1
+                elif deferred:
+                    cat_buffer += 1
+                else:
+                    cat_idle += 1
+
             cycle += 1
 
             # ----------------------------------------------------------
@@ -888,6 +993,8 @@ class OutOfOrderPipeline:
                 skipped = target - cycle
                 cycles_counted += skipped
                 self.fast_forwarded_cycles += skipped
+                if collecting:
+                    cat_ff += skipped
                 cycle = target
 
         total_cycles = last_commit_cycle + 1
@@ -899,6 +1006,17 @@ class OutOfOrderPipeline:
         stats.add("pipeline.dispatched", dispatched_total)
         stats.set("pipeline.total_cycles", total_cycles)
         stats.set("pipeline.committed", committed)
+        if collecting:
+            collector.record_categories(
+                cat_commit,
+                cat_issue,
+                cat_frontend,
+                cat_memory,
+                cat_buffer,
+                cat_idle,
+                cat_ff,
+            )
+            collector.record_run(total_cycles, total, 0)
         return PipelineResult(
             cycles=total_cycles,
             instructions=total,

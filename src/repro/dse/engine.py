@@ -20,6 +20,8 @@ and executed by :class:`~repro.campaign.executor.ParallelExecutor`, so:
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +36,10 @@ from repro.dse.strategies import (
     SearchStrategy,
     strategy_by_name,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+
+logger = get_logger(__name__)
 
 
 class Evaluator:
@@ -50,12 +56,17 @@ class Evaluator:
         jobs: Optional[int] = None,
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
+        trace_log=None,
     ) -> None:
         self.space = space
         self.objectives = tuple(objectives)
         self.jobs = jobs
         self.store = store
         self.progress = progress
+        #: optional TraceEventLog: each batch becomes a span on the parent's
+        #: track (its boundary doubles as the halving-rung marker) and the
+        #: executor adds per-worker cell spans inside it
+        self.trace_log = trace_log
         self.simulated = 0
         self.resumed = 0
         self.batches = 0
@@ -81,12 +92,56 @@ class Evaluator:
             seed=space.seed,
         )
         executor = ParallelExecutor(
-            jobs=self.jobs, store=self.store, progress=self.progress
+            jobs=self.jobs,
+            store=self.store,
+            progress=self.progress,
+            trace_log=self.trace_log,
         )
+        batch_start = time.time()
         results = executor.run(spec)
+        batch_end = time.time()
         self.simulated += len(executor.completed_cells)
         self.resumed += len(executor.skipped_cells)
         self.batches += 1
+        logger.debug(
+            "dse %s: batch %d evaluated %d candidates at %d instructions "
+            "(%d simulated, %d resumed)",
+            space.name,
+            self.batches,
+            len(candidates),
+            instructions,
+            len(executor.completed_cells),
+            len(executor.skipped_cells),
+        )
+        if self.trace_log is not None:
+            pid = os.getpid()
+            self.trace_log.name_process(pid, "repro")
+            # The batch span brackets its cells; for successive-halving
+            # searches each batch *is* one rung, so the span boundary is the
+            # rung boundary, with the instant event marking its start.
+            self.trace_log.add_instant(
+                f"rung {self.batches}",
+                "dse.rung",
+                batch_start * 1e6,
+                pid=pid,
+                args={"candidates": len(candidates), "instructions": instructions},
+            )
+            self.trace_log.add_span(
+                f"batch {self.batches} ({len(candidates)} candidates)",
+                "dse.batch",
+                batch_start * 1e6,
+                (batch_end - batch_start) * 1e6,
+                pid=pid,
+                tid=1,
+                args={"instructions": instructions},
+            )
+        if obs_metrics.enabled():
+            registry = obs_metrics.registry
+            registry.counter("dse.batches").inc()
+            registry.counter("dse.cells_simulated").inc(
+                len(executor.completed_cells)
+            )
+            registry.counter("dse.cells_resumed").inc(len(executor.skipped_cells))
 
         baseline = {
             run.benchmark: run.results[space.baseline.name] for run in results.runs
@@ -187,6 +242,7 @@ def run_dse(
     store: Optional[ResultStore] = None,
     seed: int = 0,
     progress: Optional[ProgressCallback] = None,
+    trace_log=None,
 ) -> DseResult:
     """Explore ``space`` and return its Pareto frontier.
 
@@ -194,15 +250,18 @@ def run_dse(
     ``grid``/``random``/``halving``, ``budget`` caps the number of
     candidates, ``jobs``/``store`` are forwarded to the campaign executor
     (making the search parallel and resumable), and ``seed`` feeds the
-    sampling strategies.  The returned frontier is bit-identical for any
-    ``jobs`` value and across interrupt/resume cycles of the same store.
+    sampling strategies.  ``trace_log`` optionally records batch/rung spans
+    and per-worker cell spans as Chrome trace events (``--trace-out``).  The
+    returned frontier is bit-identical for any ``jobs`` value and across
+    interrupt/resume cycles of the same store.
     """
     resolved = resolve_objectives(tuple(objectives))
     search: SearchStrategy = (
         strategy if isinstance(strategy, SearchStrategy) else strategy_by_name(strategy, seed=seed)
     )
     evaluator = Evaluator(
-        space, resolved, jobs=jobs, store=store, progress=progress
+        space, resolved, jobs=jobs, store=store, progress=progress,
+        trace_log=trace_log,
     )
     pool, trail = search.run(space, evaluator, budget=budget)
     pool = sorted(pool, key=lambda candidate: candidate.index)

@@ -1,0 +1,58 @@
+"""repro.obs — observability for the sim/campaign/DSE stack.
+
+Everything here is *operational* visibility, strictly separated from the
+scientific results: nothing in this package writes into
+:class:`~repro.stats.StatCounters`, result records, or stored campaign
+cells, so enabling any of it cannot perturb golden bit-identity (the obs
+identity tests pin this).  Everything is opt-in and off by default, and
+the CI bench gate bounds the disabled overhead below 2%.
+
+Four pillars, one module each:
+
+:mod:`repro.obs.metrics`
+    Counter/gauge/histogram registry (cells/sec, wheel events, worker
+    utilisation); no-op unless :func:`repro.obs.metrics.enable` ran.
+:mod:`repro.obs.collector` / :mod:`repro.obs.attribution`
+    Per-run cycle classification (categories partition the run and sum to
+    total cycles) plus energy-per-structure breakdowns — the ``repro
+    report`` command.
+:mod:`repro.obs.traceevent`
+    Chrome trace-event (catapult) JSON export — wall-clock campaign/DSE
+    spans and sampled simulator timelines — with a checked-in schema and a
+    dependency-free validator.
+:mod:`repro.obs.logs` / :mod:`repro.obs.progress` / :mod:`repro.obs.profile`
+    Run-scoped stdlib logging behind ``--verbose/--quiet/--log-json``, the
+    TTY progress line for sweeps, and ``repro profile`` (cProfile +
+    collapsed stacks over the bench scenarios).
+"""
+
+from repro.obs import metrics
+from repro.obs.attribution import RunAttribution, attribute_run, format_attribution
+from repro.obs.collector import CYCLE_CATEGORIES, RunCollector
+from repro.obs.logs import configure as configure_logging
+from repro.obs.logs import get_logger, run_context
+from repro.obs.progress import ProgressReporter, make_progress
+from repro.obs.traceevent import (
+    SCHEMA_PATH,
+    SchemaError,
+    TraceEventLog,
+    validate_trace_events,
+)
+
+__all__ = [
+    "metrics",
+    "RunAttribution",
+    "attribute_run",
+    "format_attribution",
+    "CYCLE_CATEGORIES",
+    "RunCollector",
+    "configure_logging",
+    "get_logger",
+    "run_context",
+    "ProgressReporter",
+    "make_progress",
+    "SCHEMA_PATH",
+    "SchemaError",
+    "TraceEventLog",
+    "validate_trace_events",
+]

@@ -1,0 +1,117 @@
+"""TTY progress reporting for campaign/DSE runs.
+
+:class:`ProgressReporter` adapts the executor's
+``progress(event, cell, done, total)`` callback into a single self-updating
+stderr line — ``[done/total] 42% 12.3 cells/s eta 0:00:07 run gzip malec`` —
+when stderr is an interactive terminal, and into nothing at all otherwise
+(CI logs and redirected output stay clean; pass ``fallback_lines=True`` to
+get the old one-line-per-cell stream there instead).  ``quiet`` silences it
+entirely.
+
+The reporter is careful about the one thing a ``\\r``-rewriting line can
+break: trailing garbage when the new line is shorter than the old.  It pads
+to the previous width and ends with :meth:`finish`, which moves to a fresh
+line so subsequent output starts clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional
+
+__all__ = ["ProgressReporter", "make_progress"]
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    hours, rem = divmod(seconds, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Renders executor progress callbacks onto a terminal.
+
+    Parameters
+    ----------
+    stream:
+        Destination (default ``sys.stderr``).
+    fallback_lines:
+        When the stream is not a TTY, emit one plain line per event instead
+        of staying silent (the executor's historical behaviour).
+    min_interval:
+        Minimum seconds between repaints of the TTY line; completion events
+        beyond this rate coalesce, keeping terminal I/O off the hot path.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        fallback_lines: bool = False,
+        min_interval: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.fallback_lines = fallback_lines
+        self.min_interval = min_interval
+        self._clock = clock
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._start: Optional[float] = None
+        self._last_paint = 0.0
+        self._last_width = 0
+        self._done = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def interactive(self) -> bool:
+        """True when rendering the self-updating TTY line."""
+        return self._is_tty
+
+    def __call__(self, event: str, cell, done: int, total: int) -> None:
+        """The executor-facing callback: ``progress(event, cell, done, total)``."""
+        now = self._clock()
+        if self._start is None:
+            self._start = now
+        self._done, self._total = done, total
+        if not self._is_tty:
+            if self.fallback_lines:
+                label = f"{cell.benchmark} {cell.config.name}" if cell else ""
+                self.stream.write(f"[{done}/{total}] {event} {label}\n")
+            return
+        final = done >= total
+        if not final and now - self._last_paint < self.min_interval:
+            return
+        self._last_paint = now
+        elapsed = now - self._start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = (total - done) / rate if rate > 0 else 0.0
+        percent = 100.0 * done / total if total else 100.0
+        label = f"{event} {cell.benchmark} {cell.config.name}" if cell else event
+        line = (
+            f"[{done}/{total}] {percent:3.0f}% "
+            f"{rate:.1f} cells/s eta {_format_eta(remaining)} {label}"
+        )
+        pad = max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Terminate the in-place line (no-op when nothing was drawn)."""
+        if self._is_tty and self._last_width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._last_width = 0
+
+
+def make_progress(
+    quiet: bool = False, stream=None, fallback_lines: bool = True
+) -> Optional[ProgressReporter]:
+    """The CLI's one-liner: a reporter, or ``None`` when ``quiet``."""
+    if quiet:
+        return None
+    return ProgressReporter(stream=stream, fallback_lines=fallback_lines)

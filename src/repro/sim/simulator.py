@@ -182,7 +182,10 @@ class Simulator:
         )
 
     def run(
-        self, trace: Iterable[Instruction], warmup_fraction: float = 0.0
+        self,
+        trace: Iterable[Instruction],
+        warmup_fraction: float = 0.0,
+        collector=None,
     ) -> SimulationResult:
         """Execute ``trace`` and return performance plus energy results.
 
@@ -192,6 +195,12 @@ class Simulator:
         Simpoint phases, so the experiment harness uses a non-zero warm-up to
         keep compulsory misses from dominating the (much shorter) synthetic
         traces.
+
+        ``collector`` optionally attaches a
+        :class:`repro.obs.collector.RunCollector` to the *measured* pipeline
+        (warm-up cycles are discarded from results, so they are excluded from
+        attribution too).  Observation is strictly additive — the returned
+        result is bit-identical with and without a collector.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must lie in [0, 1)")
@@ -225,7 +234,9 @@ class Simulator:
                 )
                 warmup_pipeline.run(instructions[:warmup_count], trace_arrays)
                 self.stats.clear()
-            pipeline = OutOfOrderPipeline(self.interface, params=params, stats=self.stats)
+            pipeline = OutOfOrderPipeline(
+                self.interface, params=params, stats=self.stats, collector=collector
+            )
             outcome = pipeline.run(instructions[warmup_count:], trace_arrays)
         finally:
             if gc_was_enabled:
@@ -246,6 +257,9 @@ def run_configuration(
     config: SimulationConfig,
     trace: Iterable[Instruction],
     warmup_fraction: float = 0.0,
+    collector=None,
 ) -> SimulationResult:
     """One-call helper: build a :class:`Simulator` for ``config`` and run ``trace``."""
-    return Simulator(config).run(trace, warmup_fraction=warmup_fraction)
+    return Simulator(config).run(
+        trace, warmup_fraction=warmup_fraction, collector=collector
+    )

@@ -39,11 +39,14 @@ exactly across the interleaving).
 from __future__ import annotations
 
 import csv as _csv
+import time
 from pathlib import Path
 from typing import IO, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.cpu.instruction import Instruction, InstructionKind
 from repro.memory.address import DEFAULT_LAYOUT, AddressLayout
+from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
 from repro.workloads.binfmt import load_rtrc
 from repro.workloads.registry import (  # noqa: F401  (re-exported API)
     TraceHandle,
@@ -53,6 +56,8 @@ from repro.workloads.registry import (  # noqa: F401  (re-exported API)
     registered_trace,
 )
 from repro.workloads.trace import MemoryTrace, _open_text as _open_trace_text
+
+logger = get_logger(__name__)
 
 #: text-format names accepted by :func:`parse_lines` / the ``--format`` flag
 TEXT_FORMATS = ("lackey", "din", "csv")
@@ -285,6 +290,7 @@ def load_trace(
                 f"{path}: cannot infer the trace format from the extension; "
                 f"pass an explicit format from {', '.join(TRACE_FORMATS)}"
             )
+    started = time.perf_counter()
     if fmt == "rtrc":
         trace = load_rtrc(path)
     elif fmt == "jsonl":
@@ -299,6 +305,21 @@ def load_trace(
     else:
         raise TraceParseError(
             f"unknown trace format {fmt!r}; choose from {', '.join(TRACE_FORMATS)}"
+        )
+    elapsed = time.perf_counter() - started
+    logger.debug(
+        "ingest: loaded %d records from %s (%s) in %.3fs",
+        len(trace),
+        path,
+        fmt,
+        elapsed,
+    )
+    if obs_metrics.enabled():
+        registry = obs_metrics.registry
+        registry.counter("ingest.records").inc(len(trace))
+        registry.counter("ingest.files").inc()
+        registry.gauge("ingest.records_per_sec").set(
+            len(trace) / elapsed if elapsed > 0 else 0.0
         )
     if name is not None:
         trace.name = name

@@ -30,9 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.obs.logs import get_logger
 from repro.workloads.binfmt import trace_fingerprint
 from repro.workloads.suites import benchmark_profile
 from repro.workloads.trace import MemoryTrace
+
+logger = get_logger(__name__)
 
 #: suite reported for ingested traces that do not carry one of their own
 INGESTED_SUITE = "ingested"
@@ -88,6 +91,13 @@ def register_trace(trace: MemoryTrace, name: Optional[str] = None) -> TraceHandl
     )
     _TRACES[name] = trace
     _HANDLES[name] = handle
+    logger.info(
+        "registered trace %s (%d instructions, suite %s, %s)",
+        name,
+        handle.length,
+        handle.suite,
+        fingerprint[:10],
+    )
     return handle
 
 
