@@ -236,6 +236,52 @@ def bench_trace_decode(instructions: int, repeats: int) -> ScenarioResult:
     return result
 
 
+def bench_trace_columnar_decode(instructions: int, repeats: int) -> ScenarioResult:
+    """Time the columnar trace lift against full object materialization.
+
+    The timed workload is what a campaign pool worker pays per shipped
+    payload on the default (columnar) frontend:
+    :meth:`~repro.workloads.columnar.ColumnarTrace.from_rtrc_bytes` plus the
+    batched :meth:`~repro.workloads.columnar.ColumnarTrace.pipeline_arrays`
+    interpretation pass.  The object-path equivalent — ``decode_trace`` (one
+    ``Instruction`` per record) plus ``MemoryTrace.pipeline_arrays`` — is
+    timed alongside and reported as ``object_seconds`` /
+    ``speedup_vs_objects``, documenting what the structure-of-arrays view
+    buys over per-instruction objects.
+    """
+    from repro.workloads.binfmt import decode_trace, encode_trace
+    from repro.workloads.columnar import ColumnarTrace
+
+    trace = generate_trace(
+        benchmark_profile(SINGLE_RUN_BENCHMARK), instructions=instructions
+    )
+    payload = encode_trace(trace)
+
+    def workload() -> Dict[str, object]:
+        view = ColumnarTrace.from_rtrc_bytes(payload)
+        view.pipeline_arrays()
+        return {
+            "benchmark": SINGLE_RUN_BENCHMARK,
+            "instructions": len(view),
+            "rtrc_bytes": len(payload),
+        }
+
+    def object_workload() -> Dict[str, object]:
+        decoded = decode_trace(payload)
+        decoded.pipeline_arrays()
+        return {"instructions": len(decoded)}
+
+    runs, details = _time_repeats(repeats, workload)
+    object_runs, _ = _time_repeats(repeats, object_workload)
+    result = ScenarioResult(name="trace_columnar_decode", runs=runs, details=details)
+    object_seconds = min(object_runs)
+    result.details["object_seconds"] = object_seconds
+    result.details["speedup_vs_objects"] = (
+        object_seconds / result.seconds if result.seconds else 0.0
+    )
+    return result
+
+
 def bench_figure4_acceptance(instructions: int, repeats: int) -> ScenarioResult:
     """Time the ``repro figure4 gzip djpeg mcf`` workload (acceptance metric)."""
     from repro.analysis.experiments import ExperimentRunner
@@ -301,6 +347,7 @@ SCENARIO_NAMES = (
     "fig4_mini_sweep_serial",
     "figure4_gzip_djpeg_mcf",
     "trace_decode_rtrc",
+    "trace_columnar_decode",
 )
 
 
@@ -318,6 +365,9 @@ def _scenario_builders(instructions: int, sweep_instructions: int, repeats: int)
             instructions, repeats
         ),
         "trace_decode_rtrc": lambda: bench_trace_decode(instructions, repeats),
+        "trace_columnar_decode": lambda: bench_trace_columnar_decode(
+            instructions, repeats
+        ),
     }
 
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.experiments import BenchmarkRun, ExperimentResults
 from repro.campaign.spec import CampaignCell, CampaignSpec
@@ -44,6 +44,7 @@ from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger
 from repro.sim.simulator import SimulationResult, run_configuration
+from repro.workloads.columnar import ColumnarTrace, resolve_frontend
 from repro.workloads.registry import registered_trace, workload_suite
 from repro.workloads.suites import benchmark_profile
 from repro.workloads.synthetic import generate_trace
@@ -54,8 +55,10 @@ logger = get_logger(__name__)
 #: (benchmark, instructions, trace seed, trace hash) -> resolved trace; the
 #: hash is empty for synthetic workloads and pins the content of ingested
 #: ones, so a name re-registered with different trace bytes never hits a
-#: stale cache entry
-TraceCache = Dict[Tuple[str, int, int, str], MemoryTrace]
+#: stale cache entry.  Values are either :class:`MemoryTrace` (synthetic /
+#: ingested resolution) or :class:`ColumnarTrace` (pool workers decoding
+#: shipped bytes under the columnar frontend); the simulator accepts both.
+TraceCache = Dict[Tuple[str, int, int, str], Union[MemoryTrace, ColumnarTrace]]
 
 #: key shape of the trace caches
 TraceKey = Tuple[str, int, int, str]
@@ -76,7 +79,7 @@ _WORKER_TRACE_BYTES: Dict[TraceKey, bytes] = {}
 _TRACE_CACHE_LIMIT = 256
 
 
-def _cached_trace(cell: CampaignCell, cache: TraceCache) -> MemoryTrace:
+def _cached_trace(cell: CampaignCell, cache: TraceCache):
     """Resolve (or fetch) the deterministic trace of ``cell``.
 
     Resolution order: the per-process cache, the ``.rtrc`` bytes a pool
@@ -93,7 +96,14 @@ def _cached_trace(cell: CampaignCell, cache: TraceCache) -> MemoryTrace:
         if payload is not None:
             # Pool worker: decode the bytes the parent shipped (cheaper than
             # regenerating, and the resolution cost was paid exactly once).
-            trace = MemoryTrace.from_bytes(payload)
+            # Under the columnar frontend the bytes go straight into columns
+            # — a handful of strided slices instead of one Instruction per
+            # record — and the view (plus its cached pipeline arrays) is
+            # reused by every cell of this trace in the worker.
+            if resolve_frontend() == "columnar":
+                trace = ColumnarTrace.from_rtrc_bytes(payload)
+            else:
+                trace = MemoryTrace.from_bytes(payload)
         else:
             ingested = registered_trace(cell.benchmark)
             if ingested is not None:

@@ -121,7 +121,11 @@ def build_pipeline_arrays(instructions, capacity: int):
     the tuple of absolute in-range producer seqs.  The single definition of
     this encoding: both :meth:`repro.workloads.trace.MemoryTrace.pipeline_arrays`
     (cached per trace) and the pipeline's ad-hoc fallback build through it,
-    so the two can never drift apart.
+    so the two can never drift apart.  ``sizes[seq]`` carries the
+    instruction's size verbatim (even for computes, whose entries the
+    pipeline never reads) so these arrays are bit-equal to the columnar
+    view's (:meth:`repro.workloads.columnar.ColumnarTrace.pipeline_arrays`),
+    which lifts the size column straight off the ``.rtrc`` records.
     """
     kinds = bytearray(capacity)
     addresses = [0] * capacity
@@ -133,9 +137,9 @@ def build_pipeline_arrays(instructions, capacity: int):
             kinds[seq] = 1
         elif instruction.is_store:
             kinds[seq] = 2
+        sizes[seq] = instruction.size
         if instruction.address is not None:
             addresses[seq] = instruction.address
-            sizes[seq] = instruction.size
         if instruction.deps:
             producers[seq] = tuple(
                 seq - d for d in instruction.deps if seq - d >= 0

@@ -148,22 +148,49 @@ class OutOfOrderPipeline:
         (see :meth:`repro.workloads.trace.MemoryTrace.pipeline_arrays`); when
         omitted they are derived here.  The event-driven loop reads these
         arrays instead of per-instruction attributes.
+
+        Columnar input — a :class:`~repro.workloads.columnar.ColumnarTrace`
+        or one of its windows (``run_slice``) — is recognised by its
+        ``columnar_pipeline_plan()`` protocol and executes without any
+        Instruction objects at all: the fetch stage walks a ``range`` of
+        sequence numbers and every fact comes from the column-built arrays.
+        The cycle-driven reference loop keeps its per-instruction shape, so
+        columnar input to ``scheduler="cycle"`` materializes objects first
+        (identity testing only; not a perf path).
         """
+        plan = getattr(trace, "columnar_pipeline_plan", None)
+        if plan is not None:
+            seqs, total, capacity, trace_arrays = plan()
+            self.fast_forwarded_cycles = 0
+            if total == 0:
+                return PipelineResult(
+                    cycles=0, instructions=0, loads=0, stores=0, computes=0
+                )
+            if self.scheduler == "cycle" or not self.enable_fast_forward:
+                return self._run_cycle_driven(
+                    trace.materialize_instructions(), total, capacity
+                )
+            return self._run_event_driven(seqs, total, capacity, trace_arrays)
         instructions = list(trace)
-        for seq, instruction in enumerate(instructions):
-            if instruction.seq < 0:
-                instruction.seq = seq
         total = len(instructions)
         self.fast_forwarded_cycles = 0
         if total == 0:
             return PipelineResult(cycles=0, instructions=0, loads=0, stores=0, computes=0)
         # Sequence numbers need not start at zero (a warmed-up run receives a
         # slice of a trace whose seqs are global positions); the seq-indexed
-        # arrays below are sized to the largest seq in this run.
+        # arrays below are sized to the largest seq in this run, and the
+        # event-driven fetch stage walks the seq list built here instead of
+        # touching Instruction attributes again.
+        seqs = []
+        seq_append = seqs.append
         capacity = total
-        for instruction in instructions:
-            if instruction.seq >= capacity:
-                capacity = instruction.seq + 1
+        for position, instruction in enumerate(instructions):
+            seq = instruction.seq
+            if seq < 0:
+                seq = instruction.seq = position
+            seq_append(seq)
+            if seq >= capacity:
+                capacity = seq + 1
         # ``enable_fast_forward=False`` selects the cycle-driven reference
         # loop outright: it is what "no skipping at all" means, and the
         # identity tests rely on it polling every component every cycle.
@@ -171,7 +198,7 @@ class OutOfOrderPipeline:
             return self._run_cycle_driven(instructions, total, capacity)
         if trace_arrays is None or len(trace_arrays[0]) < capacity:
             trace_arrays = build_pipeline_arrays(instructions, capacity)
-        return self._run_event_driven(instructions, total, capacity, trace_arrays)
+        return self._run_event_driven(seqs, total, capacity, trace_arrays)
 
 
     # ------------------------------------------------------------------
@@ -179,7 +206,7 @@ class OutOfOrderPipeline:
     # ------------------------------------------------------------------
     def _run_event_driven(
         self,
-        instructions: List[Instruction],
+        seqs,
         total: int,
         capacity: int,
         trace_arrays,
@@ -190,7 +217,10 @@ class OutOfOrderPipeline:
         objects, parallel seq-indexed arrays carry the issued/completed flags
         and dependency counts, and the ROB itself is a deque of seqs.  Flag
         reads become byte loads, which matters at one-to-two million
-        instruction events per second of sweep.
+        instruction events per second of sweep.  ``seqs`` is any indexable
+        of the run's sequence numbers in fetch order — a list for object
+        traces, a plain ``range`` for columnar windows — the loop's only
+        view of the trace besides ``trace_arrays``.
         """
         params = self.params
         max_cycles = self.max_cycles or (200 * total + 100_000)
@@ -512,7 +542,7 @@ class OutOfOrderPipeline:
                     and next_fetch < total
                     and rob_len < rob_entries
                 ):
-                    seq = instructions[next_fetch].seq
+                    seq = seqs[next_fetch]
                     rob_q.append(seq)
                     rob_len += 1
                     in_rob[seq] = 1

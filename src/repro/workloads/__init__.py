@@ -25,6 +25,7 @@ into a deterministic :class:`~repro.workloads.trace.MemoryTrace`.
 """
 
 from repro.workloads.trace import MemoryTrace
+from repro.workloads.columnar import ColumnarTrace, resolve_frontend
 from repro.workloads.profiles import BenchmarkProfile, StreamSpec, StreamKind
 from repro.workloads.synthetic import SyntheticTraceGenerator, generate_trace
 from repro.workloads.binfmt import (
@@ -47,6 +48,7 @@ from repro.workloads.ingest import (
 from repro.workloads.registry import (
     TraceHandle,
     register_trace,
+    registered_columnar,
     registered_handle,
     registered_trace,
 )
@@ -58,6 +60,8 @@ from repro.workloads.suites import (
     MEDIABENCH2,
     SPEC_FP,
     SPEC_INT,
+    STRESS,
+    STRESS_BENCHMARKS,
     SUITES,
     SYNTHETIC,
     SYNTHETIC_BENCHMARKS,
@@ -67,6 +71,8 @@ from repro.workloads.suites import (
 
 __all__ = [
     "MemoryTrace",
+    "ColumnarTrace",
+    "resolve_frontend",
     "BenchmarkProfile",
     "StreamSpec",
     "StreamKind",
@@ -87,6 +93,7 @@ __all__ = [
     "window",
     "TraceHandle",
     "register_trace",
+    "registered_columnar",
     "registered_handle",
     "registered_trace",
     "ALL_BENCHMARKS",
@@ -96,6 +103,8 @@ __all__ = [
     "MEDIABENCH2",
     "SPEC_FP",
     "SPEC_INT",
+    "STRESS",
+    "STRESS_BENCHMARKS",
     "SUITES",
     "SYNTHETIC",
     "SYNTHETIC_BENCHMARKS",

@@ -146,6 +146,23 @@ def encode_trace(trace) -> bytes:
     return b"".join((prelude, name_bytes, suite_bytes, records, deps_bytes))
 
 
+def fingerprint_sections(layout_bytes, records, deps_bytes) -> str:
+    """The trace content hash, from its raw ``.rtrc`` byte sections.
+
+    The single definition of the digest recipe: :func:`trace_fingerprint`
+    feeds it the sections of an encoded :class:`MemoryTrace`, and the
+    columnar view (:mod:`repro.workloads.columnar`) feeds it the very slices
+    of the buffer it decoded from — so both views of the same bytes hash
+    identically by construction.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"rtrc\x01")
+    digest.update(layout_bytes)
+    digest.update(records)
+    digest.update(deps_bytes)
+    return digest.hexdigest()
+
+
 def trace_fingerprint(trace) -> str:
     """Content hash (sha256 hex) of a trace's instruction stream and layout.
 
@@ -154,12 +171,7 @@ def trace_fingerprint(trace) -> str:
     different names — maps to the same hash.
     """
     layout_bytes, records, deps_bytes = _encode_body(trace)
-    digest = hashlib.sha256()
-    digest.update(b"rtrc\x01")
-    digest.update(layout_bytes)
-    digest.update(records)
-    digest.update(deps_bytes)
-    return digest.hexdigest()
+    return fingerprint_sections(layout_bytes, records, deps_bytes)
 
 
 # ----------------------------------------------------------------------

@@ -106,6 +106,18 @@ def registered_trace(name: str) -> Optional[MemoryTrace]:
     return _TRACES.get(name)
 
 
+def registered_columnar(name: str):
+    """The columnar view of the registered trace ``name``, or ``None``.
+
+    Both views of a registered trace are exposed: :func:`registered_trace`
+    returns the object form, this returns the cached
+    :class:`~repro.workloads.columnar.ColumnarTrace` (built on first use,
+    shared across callers through the trace's own ``columnar()`` memo).
+    """
+    trace = _TRACES.get(name)
+    return trace.columnar() if trace is not None else None
+
+
 def registered_handle(name: str) -> Optional[TraceHandle]:
     """The :class:`TraceHandle` of ``name``, or ``None``."""
     return _HANDLES.get(name)

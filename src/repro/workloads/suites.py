@@ -37,10 +37,13 @@ MEDIABENCH2 = "MB2"
 #: extra profiles that are not paper benchmarks: synthetic corner-case
 #: workloads used to diversify sensitivity sweeps and design-space searches
 SYNTHETIC = "SYN"
+#: adversarial profiles built to stress one structure to its limit; used by
+#: the differential test net, not by sweeps or design-space presets
+STRESS = "STRESS"
 #: the paper's three suites (Fig. 4's grouping)
 SUITES: Tuple[str, ...] = (SPEC_INT, SPEC_FP, MEDIABENCH2)
 #: every suite the registry knows, including the synthetic extras
-ALL_SUITES: Tuple[str, ...] = SUITES + (SYNTHETIC,)
+ALL_SUITES: Tuple[str, ...] = SUITES + (SYNTHETIC, STRESS)
 
 
 # ----------------------------------------------------------------------
@@ -230,15 +233,63 @@ def _synthetic_profiles() -> List[BenchmarkProfile]:
 
 
 # ----------------------------------------------------------------------
+# Adversarial stress profiles (differential-test workloads)
+# ----------------------------------------------------------------------
+def _stress_profiles() -> List[BenchmarkProfile]:
+    """Adversarial workloads that push one structure to its limit.
+
+    ``tlbthrash`` marches page-sized strides through footprints far beyond
+    the 64-entry TLB (let alone the 16-entry uTLB), so nearly every access
+    lands on a page the translation hierarchy has already evicted — a
+    page-locality worst case with almost no dependences, keeping MLP (and
+    therefore translation pressure per cycle) high.  ``depchase`` is the
+    opposite failure mode: several pointer chases with an extreme
+    chase-dependency probability, so addresses serialize *within* each
+    stream while frequent stream switches control how many independent
+    chains (the MLP) are in flight at once.  Both are registered, seeded
+    profiles like any benchmark, but live in their own ``STRESS`` suite so
+    sweep and design-space presets never pick them up implicitly; the
+    columnar/object differential suite and the golden-result net exercise
+    them explicitly.
+    """
+    p = []
+    p.append(
+        _profile(
+            "tlbthrash",
+            STRESS,
+            [seq(1024, 4096, 1.2, 0.2), seq(512, 4096, 0.8, 0.2), hot(2, 0.8, 0.15)],
+            0.44,
+            switch=0.45,
+            chase_dep=0.0,
+            load_use=0.2,
+        )
+    )
+    p.append(
+        _profile(
+            "depchase",
+            STRESS,
+            [chase(96, 0.3, 1.0, 0.1), chase(192, 0.25, 1.0, 0.1), chase(384, 0.2, 1.0, 0.1), chase(768, 0.15, 1.0, 0.1)],
+            0.46,
+            switch=0.6,
+            chase_dep=0.85,
+            load_use=0.55,
+        )
+    )
+    return p
+
+
+# ----------------------------------------------------------------------
 # Public registry
 # ----------------------------------------------------------------------
 _PAPER_PROFILES: List[BenchmarkProfile] = (
     _spec_int_profiles() + _spec_fp_profiles() + _mediabench_profiles()
 )
 _SYNTH_PROFILES: List[BenchmarkProfile] = _synthetic_profiles()
+_STRESS_PROFILES: List[BenchmarkProfile] = _stress_profiles()
 
 _REGISTRY: Dict[str, BenchmarkProfile] = {
-    profile.name: profile for profile in _PAPER_PROFILES + _SYNTH_PROFILES
+    profile.name: profile
+    for profile in _PAPER_PROFILES + _SYNTH_PROFILES + _STRESS_PROFILES
 }
 
 #: the paper's 38 benchmark names in Fig. 4's plotting order
@@ -247,8 +298,15 @@ ALL_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _PAPER_PROFILES)
 #: the synthetic scenario-diversity extras (SYN suite)
 SYNTHETIC_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _SYNTH_PROFILES)
 
-#: every profile the registry can generate (paper grid + synthetic extras)
-EXTENDED_BENCHMARKS: Tuple[str, ...] = ALL_BENCHMARKS + SYNTHETIC_BENCHMARKS
+#: the adversarial differential-test workloads (STRESS suite); deliberately
+#: kept out of SYNTHETIC_BENCHMARKS and LOCALITY_DIVERSE_BENCHMARKS so
+#: sensitivity sweeps and DSE presets keep their historical grids
+STRESS_BENCHMARKS: Tuple[str, ...] = tuple(p.name for p in _STRESS_PROFILES)
+
+#: every profile the registry can generate (paper grid + all extras)
+EXTENDED_BENCHMARKS: Tuple[str, ...] = (
+    ALL_BENCHMARKS + SYNTHETIC_BENCHMARKS + STRESS_BENCHMARKS
+)
 
 #: locality-diverse subset used by sensitivity sweeps and DSE presets: the
 #: Sec. VI-D paper picks (high- and low-locality SPEC plus media) extended
@@ -268,7 +326,7 @@ def benchmark_profile(name: str) -> BenchmarkProfile:
 
 
 def suite_profiles(suite: str) -> List[BenchmarkProfile]:
-    """All profiles of one suite (``SPEC-INT``, ``SPEC-FP``, ``MB2`` or ``SYN``)."""
+    """All profiles of one suite (``SPEC-INT``, ``SPEC-FP``, ``MB2``, ``SYN`` or ``STRESS``)."""
     if suite not in ALL_SUITES:
         raise ValueError(f"unknown suite {suite!r}; choose from {ALL_SUITES}")
     return [profile for profile in _REGISTRY.values() if profile.suite == suite]

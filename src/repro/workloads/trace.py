@@ -124,6 +124,27 @@ class MemoryTrace:
         return arrays
 
     # ------------------------------------------------------------------
+    # Columnar view (simulator fast path)
+    # ------------------------------------------------------------------
+    def columnar(self):
+        """The structure-of-arrays view of this trace, built once and cached.
+
+        :class:`~repro.workloads.columnar.ColumnarTrace` carries the same
+        instruction stream as parallel columns; the simulator's default
+        (columnar) frontend converts through this accessor, so a campaign
+        running one trace through many configurations pays the conversion
+        exactly once.  Invalidated when the trace grows.
+        """
+        cached = getattr(self, "_columnar", None)
+        if cached is not None and cached[0] == len(self.instructions):
+            return cached[1]
+        from repro.workloads.columnar import ColumnarTrace
+
+        view = ColumnarTrace.from_trace(self)
+        self._columnar = (len(self.instructions), view)
+        return view
+
+    # ------------------------------------------------------------------
     # Compact binary form (campaign worker shipping)
     # ------------------------------------------------------------------
     def to_bytes(self) -> bytes:

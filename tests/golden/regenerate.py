@@ -1,8 +1,10 @@
-"""Regenerate ``tests/golden/fig4_mini.json`` from the current code.
+"""Regenerate the golden result files from the current code.
 
-Run only when a PR *deliberately* changes simulation behaviour (and say so
-in the PR description) — the golden test exists precisely so performance
-work cannot drift the paper reproduction silently::
+Rewrites ``tests/golden/fig4_mini.json`` (the fig4-mini campaign records)
+and ``tests/golden/stress_profiles.json`` (the STRESS-suite differential
+anchors).  Run only when a PR *deliberately* changes simulation behaviour
+(and say so in the PR description) — the golden tests exist precisely so
+performance work cannot drift the paper reproduction silently::
 
     PYTHONPATH=src python tests/golden/regenerate.py
 """
@@ -16,6 +18,15 @@ from pathlib import Path
 from repro.campaign.executor import ParallelExecutor
 from repro.campaign.spec import campaign_preset
 from repro.campaign.store import ResultStore
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import run_configuration
+from repro.workloads.suites import STRESS_BENCHMARKS, benchmark_profile
+from repro.workloads.synthetic import generate_trace
+
+#: trace length / warmup the stress anchors are pinned at (mirrored by
+#: ``tests/test_columnar_differential.py``)
+STRESS_INSTRUCTIONS = 1200
+STRESS_WARMUP = 0.3
 
 
 def regenerate(path: Path) -> int:
@@ -35,7 +46,44 @@ def regenerate(path: Path) -> int:
     return len(records)
 
 
+def regenerate_stress(path: Path) -> int:
+    """Pin the STRESS profiles on the Fig. 4 grid (object-path oracle)."""
+    records = {}
+    for bench in STRESS_BENCHMARKS:
+        trace = generate_trace(
+            benchmark_profile(bench), instructions=STRESS_INSTRUCTIONS
+        )
+        for config in SimulationConfig.figure4_suite():
+            result = run_configuration(
+                config, trace, warmup_fraction=STRESS_WARMUP, frontend="object"
+            )
+            records[f"{bench}/{config.name}"] = {
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "loads": result.loads,
+                "stores": result.stores,
+                "stats": result.stats,
+                "energy": {
+                    name: {
+                        "dynamic_pj": item.dynamic_pj,
+                        "leakage_pj": item.leakage_pj,
+                    }
+                    for name, item in sorted(result.energy.structures.items())
+                },
+            }
+    payload = {
+        "instructions": STRESS_INSTRUCTIONS,
+        "warmup_fraction": STRESS_WARMUP,
+        "records": records,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return len(records)
+
+
 if __name__ == "__main__":
     target = Path(__file__).parent / "fig4_mini.json"
     count = regenerate(target)
     print(f"wrote {target} ({count} records)")
+    stress_target = Path(__file__).parent / "stress_profiles.json"
+    stress_count = regenerate_stress(stress_target)
+    print(f"wrote {stress_target} ({stress_count} records)")

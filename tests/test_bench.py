@@ -26,6 +26,7 @@ EXPECTED_SCENARIOS = {
     "fig4_mini_sweep_serial",
     "figure4_gzip_djpeg_mcf",
     "trace_decode_rtrc",
+    "trace_columnar_decode",
 }
 
 
@@ -54,6 +55,14 @@ class TestRunBenchmarks:
         assert quick_report["total_seconds"] == pytest.approx(
             sum(s["seconds"] for s in quick_report["scenarios"].values())
         )
+
+    def test_columnar_decode_reports_object_baseline(self, quick_report):
+        columnar = quick_report["scenarios"]["trace_columnar_decode"]
+        assert columnar["object_seconds"] > 0.0
+        assert columnar["speedup_vs_objects"] == pytest.approx(
+            columnar["object_seconds"] / columnar["seconds"]
+        )
+        assert columnar["rtrc_bytes"] > 0
 
     def test_quick_caps_workload_sizes(self, quick_report):
         assert quick_report["params"]["instructions"] <= 600

@@ -1,0 +1,230 @@
+"""Differential net: the columnar frontend against the object-path oracle.
+
+The columnar frontend (PR 7) is the simulator's default way of consuming a
+trace; the per-``Instruction`` object path stays behind ``frontend="object"``
+/ ``REPRO_TRACE_FRONTEND=object`` precisely so these tests can hold the two
+to *bit-identical* results — every ``StatCounters`` counter and every
+per-structure energy value, not just cycles.  Coverage spans the fig4-mini
+grid (all five Fig. 4 configurations), both pipeline schedulers (the
+event-driven default and the cycle-driven reference loop), randomized seeded
+synthetic profiles, and the adversarial ``STRESS`` profiles
+(``tlbthrash``/``depchase``), whose absolute results are additionally pinned
+to ``tests/golden/stress_profiles.json``.
+
+Regenerating the stress golden file is a deliberate act::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulator, run_configuration
+from repro.workloads.profiles import BenchmarkProfile, StreamKind, StreamSpec
+from repro.workloads.suites import (
+    STRESS_BENCHMARKS,
+    SYNTHETIC_BENCHMARKS,
+    benchmark_profile,
+)
+from repro.workloads.synthetic import generate_trace
+
+STRESS_GOLDEN_PATH = Path(__file__).parent / "golden" / "stress_profiles.json"
+
+#: the fig4-mini benchmark picks (one per suite; mirrors the campaign preset)
+FIG4_MINI_BENCHMARKS = ("gzip", "swim", "djpeg")
+
+FIG4_CONFIGS = SimulationConfig.figure4_suite()
+
+
+def trace_for(name: str, instructions: int = 1200):
+    return generate_trace(benchmark_profile(name), instructions=instructions)
+
+
+def assert_results_identical(columnar, oracle, label: str) -> None:
+    """Full-payload equality with a field-first report of what drifted."""
+    for field in ("cycles", "instructions", "loads", "stores"):
+        assert getattr(columnar, field) == getattr(oracle, field), (label, field)
+    assert columnar.stats == oracle.stats, label
+    assert columnar.energy == oracle.energy, label
+
+
+def run_scheduler_frontend(config, trace, scheduler, frontend, warmup=0.0):
+    """One fresh simulation with both the scheduler and the frontend pinned.
+
+    Mirrors ``tests/test_event_scheduler.py``'s ``run_with_scheduler`` but
+    feeds the pipeline either materialized instruction lists (object oracle)
+    or ``ColumnarTrace.run_slice`` views (columnar frontend).
+    """
+    simulator = Simulator(config)
+    params = simulator._pipeline_parameters()
+    if frontend == "columnar":
+        view = trace.columnar()
+        view.precompute_decompositions(config.cache.layout)
+        total = len(view)
+        warmup_count = int(total * warmup)
+        warmup_input = view.run_slice(0, warmup_count)
+        measured_input = view.run_slice(warmup_count, total)
+    else:
+        instructions = list(trace)
+        warmup_count = int(len(instructions) * warmup)
+        warmup_input = instructions[:warmup_count]
+        measured_input = instructions[warmup_count:]
+    if warmup_count:
+        OutOfOrderPipeline(
+            simulator.interface,
+            params=params,
+            stats=simulator.stats,
+            scheduler=scheduler,
+        ).run(warmup_input)
+        simulator.stats.clear()
+    pipeline = OutOfOrderPipeline(
+        simulator.interface, params=params, stats=simulator.stats, scheduler=scheduler
+    )
+    result = pipeline.run(measured_input)
+    return result, simulator.stats.as_dict()
+
+
+class TestFig4GridIdentity:
+    @pytest.mark.parametrize("config", FIG4_CONFIGS, ids=lambda c: c.name)
+    @pytest.mark.parametrize("bench", FIG4_MINI_BENCHMARKS)
+    def test_fig4_mini_grid_bit_identical(self, config, bench):
+        trace = trace_for(bench)
+        columnar = run_configuration(
+            config, trace, warmup_fraction=0.3, frontend="columnar"
+        )
+        oracle = run_configuration(config, trace, warmup_fraction=0.3, frontend="object")
+        assert_results_identical(columnar, oracle, f"{bench}/{config.name}")
+
+    @pytest.mark.parametrize("bench", SYNTHETIC_BENCHMARKS)
+    def test_synthetic_extremes_bit_identical(self, bench):
+        trace = trace_for(bench)
+        config = SimulationConfig.malec()
+        columnar = run_configuration(config, trace, frontend="columnar")
+        oracle = run_configuration(config, trace, frontend="object")
+        assert_results_identical(columnar, oracle, bench)
+
+
+class TestSchedulerIdentity:
+    @pytest.mark.parametrize("scheduler", ("event", "cycle"))
+    @pytest.mark.parametrize("bench", STRESS_BENCHMARKS)
+    def test_stress_profiles_identical_under_both_schedulers(self, bench, scheduler):
+        trace = trace_for(bench)
+        config = SimulationConfig.malec()
+        col_result, col_stats = run_scheduler_frontend(
+            config, trace, scheduler, "columnar", warmup=0.3
+        )
+        obj_result, obj_stats = run_scheduler_frontend(
+            config, trace, scheduler, "object", warmup=0.3
+        )
+        assert col_result.cycles == obj_result.cycles, (bench, scheduler)
+        assert col_stats == obj_stats, (bench, scheduler)
+
+    @pytest.mark.parametrize("scheduler", ("event", "cycle"))
+    def test_fig4_pick_identical_under_both_schedulers(self, scheduler):
+        trace = trace_for("gzip")
+        config = SimulationConfig.base_2ld1st()
+        col_result, col_stats = run_scheduler_frontend(config, trace, scheduler, "columnar")
+        obj_result, obj_stats = run_scheduler_frontend(config, trace, scheduler, "object")
+        assert col_result.cycles == obj_result.cycles
+        assert col_stats == obj_stats
+
+
+def random_profile(seed: int) -> BenchmarkProfile:
+    """A randomized-but-seeded profile drawing from every stream kind."""
+    rng = random.Random(seed)
+    kinds = list(StreamKind)
+    streams = tuple(
+        StreamSpec(
+            kind=rng.choice(kinds),
+            weight=rng.uniform(0.3, 1.5),
+            footprint_pages=rng.choice((2, 6, 40, 400, 2000)),
+            stride_bytes=rng.choice((4, 8, 16, 64, 136)),
+            page_stay_probability=rng.uniform(0.1, 0.95),
+            store_fraction=rng.uniform(0.0, 0.8),
+        )
+        for _ in range(rng.randint(1, 4))
+    )
+    return BenchmarkProfile(
+        name=f"fuzz{seed}",
+        suite="SYN",
+        memory_fraction=rng.uniform(0.25, 0.55),
+        streams=streams,
+        stream_switch_probability=rng.uniform(0.1, 0.7),
+        pointer_chase_dependency=rng.uniform(0.0, 0.9),
+        load_use_dependency=rng.uniform(0.1, 0.7),
+        seed=seed * 977 + 13,
+    )
+
+
+class TestRandomizedProfiles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_profiles_bit_identical(self, seed):
+        rng = random.Random(seed ^ 0xC0FFEE)
+        trace = generate_trace(random_profile(seed), instructions=700)
+        config = FIG4_CONFIGS[rng.randrange(len(FIG4_CONFIGS))]
+        warmup = rng.choice((0.0, 0.25))
+        columnar = run_configuration(
+            config, trace, warmup_fraction=warmup, frontend="columnar"
+        )
+        oracle = run_configuration(
+            config, trace, warmup_fraction=warmup, frontend="object"
+        )
+        assert_results_identical(columnar, oracle, f"fuzz{seed}/{config.name}")
+
+
+def stress_records(frontend: str) -> dict:
+    """The golden payload's records, computed live with ``frontend``."""
+    records = {}
+    for bench in STRESS_BENCHMARKS:
+        trace = trace_for(bench)
+        for config in FIG4_CONFIGS:
+            result = run_configuration(
+                config, trace, warmup_fraction=0.3, frontend=frontend
+            )
+            records[f"{bench}/{config.name}"] = {
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "loads": result.loads,
+                "stores": result.stores,
+                "stats": result.stats,
+                "energy": {
+                    name: {
+                        "dynamic_pj": item.dynamic_pj,
+                        "leakage_pj": item.leakage_pj,
+                    }
+                    for name, item in sorted(result.energy.structures.items())
+                },
+            }
+    return records
+
+
+class TestStressGolden:
+    @pytest.fixture(scope="class")
+    def golden(self) -> dict:
+        return json.loads(STRESS_GOLDEN_PATH.read_text())
+
+    @pytest.mark.parametrize("frontend", ("columnar", "object"))
+    def test_stress_results_match_golden(self, golden, frontend):
+        # Both frontends must land on the recorded results — this pins the
+        # STRESS profiles' absolute behaviour *and* re-checks the
+        # differential property through an independently stored oracle.
+        fresh = stress_records(frontend)
+        assert set(fresh) == set(golden["records"])
+        for key, golden_record in golden["records"].items():
+            record = fresh[key]
+            for field in ("cycles", "instructions", "loads", "stores"):
+                assert record[field] == golden_record[field], (key, field, frontend)
+            assert record["stats"] == golden_record["stats"], (key, frontend)
+            assert record["energy"] == golden_record["energy"], (key, frontend)
+
+    def test_golden_covers_full_grid(self, golden):
+        assert len(golden["records"]) == len(STRESS_BENCHMARKS) * len(FIG4_CONFIGS)
+        assert golden["instructions"] == 1200
+        assert golden["warmup_fraction"] == 0.3

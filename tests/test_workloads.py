@@ -14,6 +14,8 @@ from repro.workloads.suites import (
     MEDIABENCH2,
     SPEC_FP,
     SPEC_INT,
+    STRESS,
+    STRESS_BENCHMARKS,
     SYNTHETIC,
     SYNTHETIC_BENCHMARKS,
     benchmark_profile,
@@ -41,12 +43,45 @@ class TestProfilesRegistry:
         # The SYN profiles extend the registry without touching the paper's
         # 38-benchmark grid (Fig. 4 sweeps must not change shape).
         assert SYNTHETIC_BENCHMARKS == ("ptrchase", "streamwrite")
-        assert len(EXTENDED_BENCHMARKS) == 40
+        assert len(EXTENDED_BENCHMARKS) == 42
         assert not set(SYNTHETIC_BENCHMARKS) & set(ALL_BENCHMARKS)
         assert len(suite_profiles(SYNTHETIC)) == 2
         for name in SYNTHETIC_BENCHMARKS:
             assert benchmark_profile(name).suite == SYNTHETIC
             assert name in LOCALITY_DIVERSE_BENCHMARKS
+
+    def test_stress_profiles_registered_but_out_of_sweeps(self):
+        # The STRESS profiles exist for the columnar/object differential net;
+        # sweeps and DSE presets must never pick them up implicitly.
+        assert STRESS_BENCHMARKS == ("tlbthrash", "depchase")
+        assert len(suite_profiles(STRESS)) == 2
+        for name in STRESS_BENCHMARKS:
+            assert benchmark_profile(name).suite == STRESS
+            assert name not in SYNTHETIC_BENCHMARKS
+            assert name not in LOCALITY_DIVERSE_BENCHMARKS
+            assert name not in ALL_BENCHMARKS
+            assert name in EXTENDED_BENCHMARKS
+
+    def test_tlbthrash_marches_pages(self):
+        trace = generate_trace(benchmark_profile("tlbthrash"), instructions=3000)
+        refs = trace.memory_references
+        # Far more distinct pages than the 64-entry TLB can hold, and nearly
+        # every reference lands on a new page (page-sized strides).
+        assert trace.footprint_pages() > 256
+        assert trace.footprint_pages() > 0.8 * len(refs)
+        # No dependent loads: full MLP keeps translation pressure maximal.
+        assert all(not i.deps for i in trace if i.is_load)
+
+    def test_depchase_serializes_addresses(self):
+        def dependent_load_fraction(name):
+            trace = generate_trace(benchmark_profile(name), instructions=3000)
+            loads = [i for i in trace if i.is_load]
+            return sum(1 for i in loads if i.deps) / len(loads)
+
+        # Nearly every load waits on a producer (chase_dep = 0.85 across
+        # four chase streams) — well beyond mcf, the paper's chase extreme.
+        assert dependent_load_fraction("depchase") > 0.9
+        assert dependent_load_fraction("depchase") > dependent_load_fraction("mcf")
 
     def test_ptrchase_has_low_page_locality(self):
         def locality(name):
