@@ -145,6 +145,56 @@ def bench_single_config_run(
     return ScenarioResult(name="single_config_run", runs=runs, details=details)
 
 
+def bench_single_config_run_kernel(
+    instructions: int, repeats: int, warmup_fraction: float = 0.3
+) -> ScenarioResult:
+    """Time the specialized kernel against the generic interpreter loop.
+
+    The timed workload is :func:`bench_single_config_run`'s simulation with
+    ``kernel="specialized"`` pinned; the same run with ``kernel="generic"``
+    is timed alongside (same best-of-N) and reported in the details as
+    ``generic_seconds`` / ``speedup_vs_generic``, documenting what the
+    per-configuration generated kernels buy over the interpreted loop.
+    Both runs are bit-identical by construction (enforced by
+    ``tests/test_kernel_differential.py``); the compile cost is excluded by
+    prewarming the kernel cache before timing, matching steady-state use.
+    """
+    from repro.sim.kernels import prewarm
+
+    config = SimulationConfig.malec()
+    trace = generate_trace(
+        benchmark_profile(SINGLE_RUN_BENCHMARK), instructions=instructions
+    )
+    prewarm([config])
+
+    def workload() -> Dict[str, object]:
+        outcome = run_configuration(
+            config, trace, warmup_fraction=warmup_fraction, kernel="specialized"
+        )
+        return {
+            "benchmark": SINGLE_RUN_BENCHMARK,
+            "configuration": outcome.config_name,
+            "instructions": instructions,
+            "cycles": outcome.cycles,
+        }
+
+    def generic_workload() -> Dict[str, object]:
+        outcome = run_configuration(
+            config, trace, warmup_fraction=warmup_fraction, kernel="generic"
+        )
+        return {"cycles": outcome.cycles}
+
+    runs, details = _time_repeats(repeats, workload)
+    generic_runs, _ = _time_repeats(repeats, generic_workload)
+    result = ScenarioResult(name="single_config_run_kernel", runs=runs, details=details)
+    generic_seconds = min(generic_runs)
+    result.details["generic_seconds"] = generic_seconds
+    result.details["speedup_vs_generic"] = (
+        generic_seconds / result.seconds if result.seconds else 0.0
+    )
+    return result
+
+
 def bench_fig4_mini_sweep(instructions: int, repeats: int) -> ScenarioResult:
     """Time the ``fig4-mini`` preset through the campaign engine.
 
@@ -343,6 +393,7 @@ def host_metadata(revision: Optional[str] = None) -> dict:
 SCENARIO_NAMES = (
     "trace_generation",
     "single_config_run",
+    "single_config_run_kernel",
     "fig4_mini_sweep",
     "fig4_mini_sweep_serial",
     "figure4_gzip_djpeg_mcf",
@@ -355,6 +406,9 @@ def _scenario_builders(instructions: int, sweep_instructions: int, repeats: int)
     return {
         "trace_generation": lambda: bench_trace_generation(instructions, repeats),
         "single_config_run": lambda: bench_single_config_run(instructions, repeats),
+        "single_config_run_kernel": lambda: bench_single_config_run_kernel(
+            instructions, repeats
+        ),
         "fig4_mini_sweep": lambda: bench_fig4_mini_sweep(
             sweep_instructions, repeats
         ),

@@ -43,6 +43,7 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger
+from repro.sim.kernels import prewarm, resolve_kernel
 from repro.sim.simulator import SimulationResult, run_configuration
 from repro.workloads.columnar import ColumnarTrace, resolve_frontend
 from repro.workloads.registry import registered_trace, workload_suite
@@ -127,9 +128,17 @@ def _execute_cell(cell: CampaignCell, cache: TraceCache) -> SimulationResult:
     return run_configuration(cell.config, trace, warmup_fraction=cell.warmup_fraction)
 
 
-def _init_worker(trace_bytes: Dict[TraceKey, bytes]) -> None:
-    """Pool initializer: install the parent's serialized traces."""
+def _init_worker(trace_bytes: Dict[TraceKey, bytes], configs=()) -> None:
+    """Pool initializer: install the parent's serialized traces and compile
+    the campaign's specialized simulation kernels up front.
+
+    Kernels are cached per config content-hash (see :mod:`repro.sim.kernels`),
+    so each worker pays generation+compile once per distinct configuration
+    shape here instead of on its first cell of each shape.
+    """
     _WORKER_TRACE_BYTES.update(trace_bytes)
+    if configs and resolve_kernel() == "specialized":
+        prewarm(configs)
 
 
 def _pool_cell(cell: CampaignCell) -> Tuple[str, dict, Tuple[int, float, float]]:
@@ -345,11 +354,19 @@ class ParallelExecutor:
         try:
             payloads = self._trace_payloads(pending)
             workers = min(self.jobs, len(pending))
+            # Distinct configuration shapes, deduplicated by identity-relevant
+            # fields inside prewarm's content hash; shipped to workers so each
+            # compiles its specialized kernels once, up front.
+            distinct_configs = tuple(
+                {cell.config.with_name("kernel-prewarm"): None for cell in pending}
+            )
             # One pickled batch per chunk instead of one round-trip per cell;
             # results stream back in completion order.
             chunksize = max(1, len(pending) // (workers * 4))
             with multiprocessing.Pool(
-                processes=workers, initializer=_init_worker, initargs=(payloads,)
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(payloads, distinct_configs),
             ) as pool:
                 self.used_pool = True
                 for key, payload, (pid, start, end) in pool.imap_unordered(

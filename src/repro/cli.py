@@ -648,6 +648,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write every attribution as a JSON array to FILE",
     )
+    report.add_argument(
+        "--kernel-source",
+        default=None,
+        dest="kernel_source",
+        metavar="NAME",
+        help="print the generated specialized-kernel source for the named "
+        f"configuration ({', '.join(_FIG4_ORDER)}) and exit",
+    )
     _add_trace_file_option(report)
 
     profile = commands.add_parser(
@@ -1008,6 +1016,20 @@ _REPORT_BENCHMARKS = ("gzip", "swim", "djpeg")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.kernel_source is not None:
+        suite = {config.name: config for config in SimulationConfig.figure4_suite()}
+        if args.kernel_source not in suite:
+            print(
+                f"repro: unknown configuration {args.kernel_source!r}; choose "
+                f"from {', '.join(_FIG4_ORDER)}",
+                file=sys.stderr,
+            )
+            return 2
+        # Imported lazily: the generator is only needed for this debug dump.
+        from repro.sim.kernels import kernel_source
+
+        print(kernel_source(suite[args.kernel_source]), end="")
+        return 0
     try:
         workloads = _merge_workloads(args.benchmarks or None, args.trace_files)
     except (TraceParseError, TraceFormatError, OSError, ValueError) as error:
@@ -1034,6 +1056,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
             return 2
         configs.append(suite[name])
 
+    from repro.sim.kernels import resolve_kernel
+
+    if resolve_kernel() == "specialized":
+        # Attribution needs per-cycle collector callbacks the fused kernels do
+        # not emit, so these runs always take the generic interpreter path.
+        print(
+            "note: collector attached; runs fall back to the generic "
+            "interpreter (specialized kernels are bypassed)"
+        )
+        print()
     timeline = TraceEventLog() if args.timeline else None
     attributions = []
     first = True

@@ -120,6 +120,7 @@ class OutOfOrderPipeline:
         enable_fast_forward: bool = True,
         scheduler: str = "event",
         collector=None,
+        kernel=None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise ValueError(f"scheduler {scheduler!r} not in {SCHEDULERS}")
@@ -136,6 +137,16 @@ class OutOfOrderPipeline:
         #: once per run, and nothing it collects feeds back into stats or
         #: results — attaching one cannot perturb bit-identity.
         self.collector = collector
+        #: optional specialized kernel entry point (see repro.sim.kernels):
+        #: kernel_run(pipeline, seqs, total, capacity, trace_arrays) returning
+        #: a PipelineResult, or None to decline (runtime guard mismatch), in
+        #: which case the generic event-driven loop runs instead.  Only
+        #: consulted on the event-scheduler path.
+        self.kernel = kernel
+        #: whether the last run() executed through the specialized kernel
+        self.kernel_used = False
+        #: whether a kernel was attached but declined (guards returned None)
+        self.kernel_fallback = False
         #: idle cycles skipped (fast-forward / event jumps) in the last run()
         self.fast_forwarded_cycles = 0
 
@@ -159,6 +170,8 @@ class OutOfOrderPipeline:
         (identity testing only; not a perf path).
         """
         plan = getattr(trace, "columnar_pipeline_plan", None)
+        self.kernel_used = False
+        self.kernel_fallback = False
         if plan is not None:
             seqs, total, capacity, trace_arrays = plan()
             self.fast_forwarded_cycles = 0
@@ -170,6 +183,13 @@ class OutOfOrderPipeline:
                 return self._run_cycle_driven(
                     trace.materialize_instructions(), total, capacity
                 )
+            kernel = self.kernel
+            if kernel is not None:
+                result = kernel(self, seqs, total, capacity, trace_arrays)
+                if result is not None:
+                    self.kernel_used = True
+                    return result
+                self.kernel_fallback = True
             return self._run_event_driven(seqs, total, capacity, trace_arrays)
         instructions = list(trace)
         total = len(instructions)
@@ -198,6 +218,13 @@ class OutOfOrderPipeline:
             return self._run_cycle_driven(instructions, total, capacity)
         if trace_arrays is None or len(trace_arrays[0]) < capacity:
             trace_arrays = build_pipeline_arrays(instructions, capacity)
+        kernel = self.kernel
+        if kernel is not None:
+            result = kernel(self, seqs, total, capacity, trace_arrays)
+            if result is not None:
+                self.kernel_used = True
+                return result
+            self.kernel_fallback = True
         return self._run_event_driven(seqs, total, capacity, trace_arrays)
 
 

@@ -1,0 +1,161 @@
+"""Specialized simulation kernels: per-configuration generated hot loops.
+
+``compile_kernel(config)`` turns a :class:`~repro.sim.config.SimulationConfig`
+into a :class:`KernelProgram` — an ``exec``-compiled module whose
+``kernel_run(pipeline, seqs, total, capacity, trace_arrays)`` entry point is
+the event-driven pipeline loop fused with the configuration's interface tick
+and batched stat accounting (see :mod:`repro.sim.kernels.generator`).
+
+Programs are cached per *content hash*: a digest of the primitive spec the
+generator consumed (excluding the config's name and seed) plus the generator
+version, so every sweep cell sharing a configuration shape compiles once —
+including across pool workers when the campaign executor's initializer calls
+:func:`prewarm` with the campaign's distinct configs.
+
+Selection follows the PR-7 frontend pattern: ``"specialized"`` is the
+default, ``kernel="generic"`` / ``REPRO_SIM_KERNEL=generic`` keeps the
+original interpreted loop as the differential-testing oracle.
+
+Generated sources are registered with :mod:`linecache` under a synthetic
+``<repro-kernel-...>`` filename, so tracebacks out of exec-compiled code show
+real source lines; ``repro report --kernel-source CONFIG`` dumps the same
+text for offline reading.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import linecache
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.sim.config import SimulationConfig
+from repro.sim.kernels.generator import (
+    GENERATOR_VERSION,
+    KIND_CLASSES,
+    build_spec,
+    generate_source,
+)
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "KERNELS",
+    "KERNEL_ENV",
+    "KernelProgram",
+    "compile_kernel",
+    "content_hash",
+    "kernel_source",
+    "prewarm",
+    "resolve_kernel",
+]
+
+#: environment variable selecting the process-wide default kernel
+KERNEL_ENV = "REPRO_SIM_KERNEL"
+
+#: recognised kernel selections
+KERNELS = ("specialized", "generic")
+
+_DEFAULT_KERNEL = "specialized"
+
+
+def resolve_kernel(explicit: Optional[str] = None) -> str:
+    """The effective kernel selection.
+
+    Explicit argument beats the ``REPRO_SIM_KERNEL`` environment variable
+    beats the built-in default (``"specialized"``) — mirroring
+    :func:`repro.workloads.columnar.resolve_frontend`.
+    """
+    choice = explicit
+    if choice is None:
+        choice = os.environ.get(KERNEL_ENV, "").strip().lower() or _DEFAULT_KERNEL
+    if choice not in KERNELS:
+        raise ValueError(f"kernel {choice!r} not in {KERNELS}")
+    return choice
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """A compiled specialized kernel plus its provenance."""
+
+    kind: str
+    content_hash: str
+    filename: str
+    source: str
+    entry: Callable
+
+
+def content_hash(config: SimulationConfig) -> str:
+    """Digest of everything the generated code depends on.
+
+    Two configs differing only in ``name``/``seed`` hash identically (the
+    spec excludes both), so sweep cells share one compiled kernel.  The
+    generator version is part of the spec, so emitted-code changes roll the
+    hash over.
+    """
+    spec = build_spec(config)
+    payload = repr(sorted(spec.items())).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+#: per-process program cache, keyed by content hash
+_CACHE: Dict[str, KernelProgram] = {}
+
+_CACHE_LIMIT = 512
+
+
+def kernel_source(config: SimulationConfig) -> str:
+    """The generated module text for ``config`` (for dumping/debugging)."""
+    digest = content_hash(config)
+    return generate_source(build_spec(config), digest)
+
+
+def compile_kernel(config: SimulationConfig) -> KernelProgram:
+    """Build (or fetch from the per-process cache) ``config``'s kernel."""
+    digest = content_hash(config)
+    program = _CACHE.get(digest)
+    if program is not None:
+        return program
+    spec = build_spec(config)
+    source = generate_source(spec, digest)
+    filename = f"<repro-kernel-{spec['kind']}-{digest[:8]}>"
+    # Register with linecache so tracebacks through exec-compiled code show
+    # real source lines with real line numbers.
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(keepends=True),
+        filename,
+    )
+    namespace: Dict[str, object] = {}
+    exec(compile(source, filename, "exec"), namespace)
+    program = KernelProgram(
+        kind=spec["kind"],
+        content_hash=digest,
+        filename=filename,
+        source=source,
+        entry=namespace["kernel_run"],
+    )
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[digest] = program
+    return program
+
+
+def prewarm(configs: Iterable[SimulationConfig]) -> int:
+    """Compile the kernels of ``configs`` (deduplicated); returns the count.
+
+    Called from pool-worker initializers so every worker pays each distinct
+    configuration's generation+compile cost once, up front, instead of on its
+    first cell.
+    """
+    compiled = 0
+    seen = set()
+    for config in configs:
+        digest = content_hash(config)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        compile_kernel(config)
+        compiled += 1
+    return compiled

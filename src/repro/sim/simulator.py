@@ -24,6 +24,7 @@ from repro.interfaces.base_2ld1st import BaselineDualLoadInterface
 from repro.interfaces.malec import MalecInterface
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.config import InterfaceKind, SimulationConfig
+from repro.sim.kernels import compile_kernel, resolve_kernel
 from repro.stats import StatCounters
 from repro.tlb.tlb import TLBHierarchy
 
@@ -143,6 +144,12 @@ class Simulator:
         # so a sweep builds each cell shape's model once, not once per cell.
         self.energy_model = _energy_model_for(config)
         self.accountant = EnergyAccountant(self.energy_model)
+        #: kernel selection resolved by the last run() ("specialized"/"generic")
+        self.kernel_requested: Optional[str] = None
+        #: whether the last run()'s measured pipeline executed a specialized kernel
+        self.kernel_used = False
+        #: why the last run() fell back to the generic loop (None if it didn't)
+        self.kernel_fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _build_interface(self) -> BaseL1Interface:
@@ -181,12 +188,42 @@ class Simulator:
             commit_width=self.config.pipeline.commit_width,
         )
 
+    def _kernel_entry(self, kernel: Optional[str], collector):
+        """Resolve the kernel selection and compile the entry point (or not).
+
+        Returns the compiled ``kernel_run`` callable, or ``None`` when the
+        generic loop should run — recording why in
+        ``kernel_fallback_reason`` so ``repro report`` can say so.
+        """
+        choice = resolve_kernel(kernel)
+        self.kernel_requested = choice
+        self.kernel_used = False
+        self.kernel_fallback_reason = None
+        if choice != "specialized":
+            return None
+        if collector is not None:
+            # Attribution instruments the generic loop's stages; specialized
+            # kernels have no per-stage hooks, so collector runs take the
+            # generic path (bit-identical results either way).
+            self.kernel_fallback_reason = "collector attached"
+            return None
+        return compile_kernel(self.config).entry
+
+    def _note_kernel_outcome(self, entry, pipeline) -> None:
+        """Record whether the measured pipeline actually used ``entry``."""
+        if entry is None:
+            return
+        self.kernel_used = pipeline.kernel_used
+        if pipeline.kernel_fallback:
+            self.kernel_fallback_reason = "runtime guard mismatch"
+
     def run(
         self,
         trace: Iterable[Instruction],
         warmup_fraction: float = 0.0,
         collector=None,
         frontend: Optional[str] = None,
+        kernel: Optional[str] = None,
     ) -> SimulationResult:
         """Execute ``trace`` and return performance plus energy results.
 
@@ -202,6 +239,16 @@ class Simulator:
         (warm-up cycles are discarded from results, so they are excluded from
         attribution too).  Observation is strictly additive — the returned
         result is bit-identical with and without a collector.
+
+        ``kernel`` selects the hot-loop implementation: ``"specialized"``
+        (the default; overridable process-wide through ``REPRO_SIM_KERNEL``)
+        runs a per-configuration generated kernel — the event-driven loop
+        fused with the interface tick and batched stat accounting (see
+        :mod:`repro.sim.kernels`); ``"generic"`` keeps the interpreted loop
+        as the differential oracle.  Results are bit-identical either way
+        (enforced by ``tests/test_kernel_differential.py``).  Collector runs
+        fall back to the generic loop and record why in
+        ``kernel_fallback_reason``.
 
         ``frontend`` selects how the trace is fed to the pipeline:
         ``"columnar"`` (the default; overridable process-wide through
@@ -220,10 +267,13 @@ class Simulator:
         # through the obs layer, which imports this module back.
         from repro.workloads.columnar import resolve_frontend
 
+        entry = self._kernel_entry(kernel, collector)
         if resolve_frontend(frontend) == "columnar":
             as_columnar = getattr(trace, "columnar", None)
             if as_columnar is not None:
-                return self._run_columnar(as_columnar(), warmup_fraction, collector)
+                return self._run_columnar(
+                    as_columnar(), warmup_fraction, collector, entry
+                )
         instructions = list(trace)
         # Warm the layout's memoised address decomposition in one pass so
         # every address is decomposed exactly once, not once per interface
@@ -250,14 +300,19 @@ class Simulator:
         try:
             if warmup_count:
                 warmup_pipeline = OutOfOrderPipeline(
-                    self.interface, params=params, stats=self.stats
+                    self.interface, params=params, stats=self.stats, kernel=entry
                 )
                 warmup_pipeline.run(instructions[:warmup_count], trace_arrays)
                 self.stats.clear()
             pipeline = OutOfOrderPipeline(
-                self.interface, params=params, stats=self.stats, collector=collector
+                self.interface,
+                params=params,
+                stats=self.stats,
+                collector=collector,
+                kernel=entry,
             )
             outcome = pipeline.run(instructions[warmup_count:], trace_arrays)
+            self._note_kernel_outcome(entry, pipeline)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -273,7 +328,7 @@ class Simulator:
         )
 
     def _run_columnar(
-        self, view, warmup_fraction: float, collector
+        self, view, warmup_fraction: float, collector, entry=None
     ) -> SimulationResult:
         """The column-batched run: no Instruction lists anywhere in the loop.
 
@@ -296,14 +351,19 @@ class Simulator:
         try:
             if warmup_count:
                 warmup_pipeline = OutOfOrderPipeline(
-                    self.interface, params=params, stats=self.stats
+                    self.interface, params=params, stats=self.stats, kernel=entry
                 )
                 warmup_pipeline.run(view.run_slice(0, warmup_count))
                 self.stats.clear()
             pipeline = OutOfOrderPipeline(
-                self.interface, params=params, stats=self.stats, collector=collector
+                self.interface,
+                params=params,
+                stats=self.stats,
+                collector=collector,
+                kernel=entry,
             )
             outcome = pipeline.run(view.run_slice(warmup_count, total))
+            self._note_kernel_outcome(entry, pipeline)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -325,8 +385,13 @@ def run_configuration(
     warmup_fraction: float = 0.0,
     collector=None,
     frontend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> SimulationResult:
     """One-call helper: build a :class:`Simulator` for ``config`` and run ``trace``."""
     return Simulator(config).run(
-        trace, warmup_fraction=warmup_fraction, collector=collector, frontend=frontend
+        trace,
+        warmup_fraction=warmup_fraction,
+        collector=collector,
+        frontend=frontend,
+        kernel=kernel,
     )

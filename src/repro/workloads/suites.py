@@ -246,11 +246,19 @@ def _stress_profiles() -> List[BenchmarkProfile]:
     opposite failure mode: several pointer chases with an extreme
     chase-dependency probability, so addresses serialize *within* each
     stream while frequent stream switches control how many independent
-    chains (the MLP) are in flight at once.  Both are registered, seeded
-    profiles like any benchmark, but live in their own ``STRESS`` suite so
-    sweep and design-space presets never pick them up implicitly; the
-    columnar/object differential suite and the golden-result net exercise
-    them explicitly.
+    chains (the MLP) are in flight at once.  ``mlpladder`` is a ladder of
+    stepped independent-miss streams: four sequential sweeps whose
+    footprints and strides each step up by powers of two (64 pages at a
+    64-byte stride through 4096 pages at a 512-byte stride), all with zero
+    chase dependency and a tiny load-use probability, so every rung keeps
+    its own run of independent misses in flight at a different level of the
+    cache/TLB hierarchy at once — the many-overlapping-miss schedule that
+    exercises bank arbitration, way prediction and the miss bookkeeping the
+    specialized kernels delegate.  All are registered, seeded profiles like
+    any benchmark, but live in their own ``STRESS`` suite so sweep and
+    design-space presets never pick them up implicitly; the columnar/object
+    and kernel differential suites and the golden-result net exercise them
+    explicitly.
     """
     p = []
     p.append(
@@ -273,6 +281,17 @@ def _stress_profiles() -> List[BenchmarkProfile]:
             switch=0.6,
             chase_dep=0.85,
             load_use=0.55,
+        )
+    )
+    p.append(
+        _profile(
+            "mlpladder",
+            STRESS,
+            [seq(64, 64, 1.0, 0.1), seq(256, 128, 1.0, 0.1), seq(1024, 256, 1.0, 0.1), seq(4096, 512, 1.0, 0.1)],
+            0.48,
+            switch=0.5,
+            chase_dep=0.0,
+            load_use=0.1,
         )
     )
     return p

@@ -22,6 +22,7 @@ from repro.cli import main
 EXPECTED_SCENARIOS = {
     "trace_generation",
     "single_config_run",
+    "single_config_run_kernel",
     "fig4_mini_sweep",
     "fig4_mini_sweep_serial",
     "figure4_gzip_djpeg_mcf",
@@ -63,6 +64,14 @@ class TestRunBenchmarks:
             columnar["object_seconds"] / columnar["seconds"]
         )
         assert columnar["rtrc_bytes"] > 0
+
+    def test_kernel_scenario_reports_generic_baseline(self, quick_report):
+        kernel = quick_report["scenarios"]["single_config_run_kernel"]
+        assert kernel["generic_seconds"] > 0.0
+        assert kernel["speedup_vs_generic"] == pytest.approx(
+            kernel["generic_seconds"] / kernel["seconds"]
+        )
+        assert kernel["cycles"] > 0
 
     def test_quick_caps_workload_sizes(self, quick_report):
         assert quick_report["params"]["instructions"] <= 600

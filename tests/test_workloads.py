@@ -43,7 +43,7 @@ class TestProfilesRegistry:
         # The SYN profiles extend the registry without touching the paper's
         # 38-benchmark grid (Fig. 4 sweeps must not change shape).
         assert SYNTHETIC_BENCHMARKS == ("ptrchase", "streamwrite")
-        assert len(EXTENDED_BENCHMARKS) == 42
+        assert len(EXTENDED_BENCHMARKS) == 43
         assert not set(SYNTHETIC_BENCHMARKS) & set(ALL_BENCHMARKS)
         assert len(suite_profiles(SYNTHETIC)) == 2
         for name in SYNTHETIC_BENCHMARKS:
@@ -53,8 +53,8 @@ class TestProfilesRegistry:
     def test_stress_profiles_registered_but_out_of_sweeps(self):
         # The STRESS profiles exist for the columnar/object differential net;
         # sweeps and DSE presets must never pick them up implicitly.
-        assert STRESS_BENCHMARKS == ("tlbthrash", "depchase")
-        assert len(suite_profiles(STRESS)) == 2
+        assert STRESS_BENCHMARKS == ("tlbthrash", "depchase", "mlpladder")
+        assert len(suite_profiles(STRESS)) == 3
         for name in STRESS_BENCHMARKS:
             assert benchmark_profile(name).suite == STRESS
             assert name not in SYNTHETIC_BENCHMARKS
@@ -82,6 +82,15 @@ class TestProfilesRegistry:
         # four chase streams) — well beyond mcf, the paper's chase extreme.
         assert dependent_load_fraction("depchase") > 0.9
         assert dependent_load_fraction("depchase") > dependent_load_fraction("mcf")
+
+    def test_mlpladder_keeps_independent_misses_in_flight(self):
+        trace = generate_trace(benchmark_profile("mlpladder"), instructions=3000)
+        loads = [i for i in trace if i.is_load]
+        # Stepped ladders of independent sweeps: a multi-rung footprint well
+        # past the uTLB with almost no dependent loads, so misses overlap
+        # freely instead of serializing behind producers.
+        assert trace.footprint_pages() > 64
+        assert sum(1 for i in loads if i.deps) / len(loads) < 0.2
 
     def test_ptrchase_has_low_page_locality(self):
         def locality(name):
