@@ -39,9 +39,7 @@ golden tests check that) while moving these numbers down.
 from __future__ import annotations
 
 import json
-import os
 import platform
-import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
@@ -50,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.campaign.executor import ParallelExecutor
 from repro.campaign.spec import campaign_preset
+from repro.obs.hostinfo import detect_revision, host_metadata
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import run_configuration
 from repro.workloads.suites import benchmark_profile
@@ -357,38 +356,6 @@ def bench_figure4_acceptance(instructions: int, repeats: int) -> ScenarioResult:
 # ----------------------------------------------------------------------
 # Harness driver
 # ----------------------------------------------------------------------
-def detect_revision(default: str = "worktree") -> str:
-    """Short git revision of the working tree, or ``default`` outside git."""
-    try:
-        completed = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=False,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return default
-    revision = completed.stdout.strip()
-    return revision if completed.returncode == 0 and revision else default
-
-
-def host_metadata(revision: Optional[str] = None) -> dict:
-    """The host facts that make two bench records (in)comparable.
-
-    Recorded in every report; ``--compare`` warns when they differ, because
-    a timing delta between different machines, core counts or interpreter
-    versions measures the hosts, not the code.
-    """
-    return {
-        "cpu_count": os.cpu_count() or 1,
-        "machine": platform.machine(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "revision": revision if revision is not None else detect_revision(),
-    }
-
-
 #: scenario name -> builder; the canonical ordering of a full bench run
 SCENARIO_NAMES = (
     "trace_generation",
@@ -591,6 +558,67 @@ def find_regressions(
     return regressions
 
 
+def bench_history(directory: Union[str, Path]) -> List[dict]:
+    """Every readable ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Records sort by their ``timestamp`` field (filename as a tiebreak) so
+    the table reads as a trajectory; unreadable or non-report files are
+    skipped rather than aborting the whole history.
+    """
+    records = []
+    for path in sorted(Path(directory).glob(f"{BENCH_PREFIX}*.json")):
+        try:
+            report = load_report(path)
+        except (OSError, ValueError):
+            continue
+        records.append((str(report.get("timestamp", "")), path.name, report))
+    records.sort(key=lambda item: (item[0], item[1]))
+    return [report for _, _, report in records]
+
+
+def format_history(reports: List[dict], scenarios: Optional[List[str]] = None) -> str:
+    """Per-scenario trajectory table across committed bench records.
+
+    One row per record (oldest first), one column per scenario in canonical
+    order, best-of-N milliseconds.  Records taken on a different host than
+    the most recent one are flagged with ``*``: their absolute numbers
+    measure that host, not the code, so they break the trajectory.
+    """
+    from repro.analysis.reporting import format_table
+
+    if not reports:
+        return "no bench records found"
+    names = [
+        name
+        for name in SCENARIO_NAMES
+        if (scenarios is None or name in scenarios)
+        and any(name in report.get("scenarios", {}) for report in reports)
+    ]
+    latest = reports[-1]
+    flagged = False
+    rows: List[List[object]] = []
+    for report in reports:
+        mismatched = bool(compare_host_warnings(report, latest))
+        flagged = flagged or mismatched
+        row: List[object] = [
+            str(report.get("label", "?")) + ("*" if mismatched else ""),
+            str(report.get("timestamp", ""))[:10],
+        ]
+        for name in names:
+            scenario = report.get("scenarios", {}).get(name)
+            row.append(f"{scenario['seconds'] * 1000.0:.1f}" if scenario else "-")
+        rows.append(row)
+    lines = [
+        f"bench history: {len(reports)} records, milliseconds, oldest first",
+        format_table(["record", "when"] + names, rows),
+    ]
+    if flagged:
+        lines.append(
+            "* host differs from the most recent record; timings not comparable"
+        )
+    return "\n".join(lines)
+
+
 def load_report(path: Union[str, Path]) -> dict:
     """Read a ``BENCH_*.json`` file, validating the schema version."""
     report = json.loads(Path(path).read_text())
@@ -633,6 +661,20 @@ def main_bench(args) -> int:
     compare = args.compare or []
     threshold = args.threshold
     scenarios = getattr(args, "scenarios", None)
+    if getattr(args, "history", False):
+        directory = args.out if args.out is not None else default_output_dir()
+        if not Path(directory).is_dir():
+            print(f"repro bench: no bench directory at {directory}", file=sys.stderr)
+            return 2
+        reports = bench_history(directory)
+        if not reports:
+            print(
+                f"repro bench: no {BENCH_PREFIX}*.json records in {directory}",
+                file=sys.stderr,
+            )
+            return 2
+        print(format_history(reports, scenarios=scenarios))
+        return 0
     if len(compare) > 2:
         print("--compare takes at most two files (OLD.json NEW.json)")
         return 2

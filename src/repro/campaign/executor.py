@@ -43,8 +43,9 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger
-from repro.sim.kernels import prewarm, resolve_kernel
-from repro.sim.simulator import SimulationResult, run_configuration
+from repro.obs.telemetry import TelemetryJournal
+from repro.sim.kernels import content_hash, prewarm, resolve_kernel
+from repro.sim.simulator import SimulationResult, Simulator
 from repro.workloads.columnar import ColumnarTrace, resolve_frontend
 from repro.workloads.registry import registered_trace, workload_suite
 from repro.workloads.suites import benchmark_profile
@@ -90,6 +91,10 @@ def _cached_trace(cell: CampaignCell, cache: TraceCache):
     """
     key = (cell.benchmark, cell.instructions, cell.trace_seed(), cell.trace_hash)
     trace = cache.get(key)
+    if obs_metrics.enabled():
+        obs_metrics.registry.counter(
+            "trace.cache.hit" if trace is not None else "trace.cache.miss"
+        ).inc()
     if trace is None:
         if len(cache) >= _TRACE_CACHE_LIMIT:
             cache.clear()
@@ -122,40 +127,92 @@ def _cached_trace(cell: CampaignCell, cache: TraceCache):
     return trace
 
 
-def _execute_cell(cell: CampaignCell, cache: TraceCache) -> SimulationResult:
-    """Run one cell's simulation using ``cache`` for trace reuse."""
+def _execute_cell(
+    cell: CampaignCell, cache: TraceCache
+) -> Tuple[SimulationResult, Dict[str, object]]:
+    """Run one cell's simulation using ``cache`` for trace reuse.
+
+    Returns the result plus the execution facts the telemetry journal
+    records per cell: which kernel was requested, whether it actually ran
+    (and why not), and the scheduler/frontend the run went through.
+    """
     trace = _cached_trace(cell, cache)
-    return run_configuration(cell.config, trace, warmup_fraction=cell.warmup_fraction)
+    simulator = Simulator(cell.config)
+    result = simulator.run(trace, warmup_fraction=cell.warmup_fraction)
+    info: Dict[str, object] = {
+        "kernel": simulator.kernel_requested,
+        "kernel_used": simulator.kernel_used,
+        "kernel_fallback_reason": simulator.kernel_fallback_reason or "",
+        # The campaign path always runs the pipeline's default event-driven
+        # scheduler and whatever frontend the process resolves to.
+        "scheduler": "event",
+        "frontend": resolve_frontend(),
+    }
+    return result, info
 
 
-def _init_worker(trace_bytes: Dict[TraceKey, bytes], configs=()) -> None:
-    """Pool initializer: install the parent's serialized traces and compile
-    the campaign's specialized simulation kernels up front.
+def _init_worker(
+    trace_bytes: Dict[TraceKey, bytes], configs=(), metrics_on: bool = False
+) -> None:
+    """Pool initializer: install the parent's serialized traces, compile the
+    campaign's specialized simulation kernels up front, and reset metrics.
 
     Kernels are cached per config content-hash (see :mod:`repro.sim.kernels`),
     so each worker pays generation+compile once per distinct configuration
     shape here instead of on its first cell of each shape.
+
+    A forked worker inherits the parent's already-populated metrics registry;
+    counting on top of it would double every parent-side value once the
+    parent merges the worker dumps back, so the registry starts from a clean
+    slate either way, and the enabled flag is set explicitly from the
+    parent's state (fork inherits it, spawn would not).
     """
     _WORKER_TRACE_BYTES.update(trace_bytes)
+    obs_metrics.registry.clear()
+    if metrics_on:
+        obs_metrics.enable()
+    else:
+        obs_metrics.disable()
     if configs and resolve_kernel() == "specialized":
         prewarm(configs)
 
 
-def _pool_cell(cell: CampaignCell) -> Tuple[str, dict, Tuple[int, float, float]]:
+def _dump_total(dump: Dict[str, dict]) -> float:
+    """Total event count in a registry dump — a monotonic progress measure.
+
+    A worker's cumulative dump only ever grows, so the dump with the largest
+    total is its most recent one regardless of the order chunked pool
+    results arrived in.
+    """
+    total = 0.0
+    for entry in dump.values():
+        kind = entry.get("kind")
+        if kind == "counter":
+            total += float(entry["value"])
+        elif kind == "histogram":
+            total += float(entry["count"])
+    return total
+
+
+def _pool_cell(cell: CampaignCell):
     """Process-pool task: simulate one cell.
 
     The worker finds the cell's trace in its per-process cache (decoded once
     from the initializer's bytes).  Results cross the process boundary as
     plain dictionaries (the store's JSON shape) rather than live objects,
     keeping the pickled payload small and identical to what lands on disk.
-    The third element is the observation timing — ``(worker pid, start, end)``
-    in epoch seconds — from which the parent derives worker utilisation and
-    wall-clock trace spans (two clock reads per multi-millisecond cell, so it
-    rides along unconditionally).
+    The remaining elements are observation payloads: the ``(worker pid,
+    start, end)`` epoch timing (two clock reads per multi-millisecond cell,
+    so it rides along unconditionally), the execution-facts dict for the
+    telemetry journal, and — only with metrics on — a cumulative dump of
+    this worker's registry, which the parent merges so a ``jobs=4`` metrics
+    snapshot finally includes worker-side counters.
     """
     start = time.time()
-    payload = result_to_dict(_execute_cell(cell, _PROCESS_TRACES))
-    return cell.key(), payload, (os.getpid(), start, time.time())
+    result, info = _execute_cell(cell, _PROCESS_TRACES)
+    payload = result_to_dict(result)
+    dump = obs_metrics.registry.dump() if obs_metrics.enabled() else None
+    return cell.key(), payload, (os.getpid(), start, time.time()), info, dump
 
 
 class ParallelExecutor:
@@ -180,6 +237,13 @@ class ParallelExecutor:
         When given, every executed cell is recorded as a wall-clock span on
         its worker's track (serial cells on the parent's), viewable in
         Perfetto / ``chrome://tracing``.
+    journal:
+        Telemetry journal destination.  ``None`` (default) auto-enables the
+        journal next to the attached store (``telemetry.jsonl``) when
+        metrics are on, and stays silent otherwise; a path writes there
+        regardless of the metrics switch; a live
+        :class:`~repro.obs.telemetry.TelemetryJournal` is used as-is (note
+        its run id is fixed — pass a path when calling ``run`` repeatedly).
     """
 
     def __init__(
@@ -189,6 +253,7 @@ class ParallelExecutor:
         progress: Optional[ProgressCallback] = None,
         trace_cache: Optional[TraceCache] = None,
         trace_log=None,
+        journal=None,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -201,11 +266,16 @@ class ParallelExecutor:
             trace_cache if trace_cache is not None else _PROCESS_TRACES
         )
         self.trace_log = trace_log
+        self.journal = journal
+        #: the journal the last run() wrote to (None when telemetry was off)
+        self.active_journal: Optional[TelemetryJournal] = None
         #: cells loaded from the store / freshly simulated by the last run()
         self.skipped_cells: List[CampaignCell] = []
         self.completed_cells: List[CampaignCell] = []
         #: (cell, worker pid, start, end) epoch timings of executed cells
         self.cell_timings: List[Tuple[CampaignCell, int, float, float]] = []
+        #: kernel fallback reason -> count across the last run()
+        self.kernel_fallbacks: Dict[str, int] = {}
         #: True if the last run() actually used a process pool
         self.used_pool = False
 
@@ -215,7 +285,9 @@ class ParallelExecutor:
         self.skipped_cells = []
         self.completed_cells = []
         self.cell_timings = []
+        self.kernel_fallbacks = {}
         self.used_pool = False
+        self.active_journal = self._resolve_journal()
         if self.store is not None:
             self.store.write_manifest(spec)
 
@@ -224,13 +296,17 @@ class ParallelExecutor:
         done = 0
         started = time.perf_counter()
         results: Dict[str, SimulationResult] = {}
+        if self.active_journal is not None:
+            self.active_journal.run_start(spec.name, total, self.jobs)
 
         pending: List[CampaignCell] = []
+        parent_pid = os.getpid()
         for cell in cells:
             stored = self.store.get(cell) if self.store is not None else None
             if stored is not None:
                 results[cell.key()] = stored
                 self.skipped_cells.append(cell)
+                self._journal_cell(cell, "store", 0.0, parent_pid)
                 done += 1
                 self._report("skipped", cell, done, total)
             else:
@@ -249,15 +325,80 @@ class ParallelExecutor:
             # Any cells a broken pool failed to deliver fall through to the
             # serial path, which always finishes the sweep.
             remaining = [cell for cell in pending if cell.key() not in results]
-            parent_pid = os.getpid()
+            if remaining and resolve_kernel() == "specialized":
+                # Mirror the pool initializer's prewarm so the kernel cache
+                # hit/miss counters are invariant across job counts: prewarm
+                # compiles are uncounted, per-cell probes all hit.
+                prewarm(
+                    {cell.config.with_name("kernel-prewarm"): None for cell in remaining}
+                )
             for cell in remaining:
                 start = time.time()
-                result = _execute_cell(cell, self.trace_cache)
-                self._observe_cell(cell, parent_pid, start, time.time())
+                result, info = _execute_cell(cell, self.trace_cache)
+                end = time.time()
+                self._observe_cell(cell, parent_pid, start, end)
+                self._journal_cell(cell, "computed", end - start, parent_pid, info)
                 done = self._record(cell, result, results, done, total)
 
-        self._flush_run_observations(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._flush_run_observations(elapsed)
+        if self.active_journal is not None:
+            self.active_journal.run_end(
+                cells_computed=len(self.completed_cells),
+                cells_skipped=len(self.skipped_cells),
+                elapsed_seconds=elapsed,
+                kernel_fallbacks=self.kernel_fallbacks or None,
+                metrics=(
+                    obs_metrics.registry.dump() if obs_metrics.enabled() else None
+                ),
+            )
         return self._assemble(spec, results)
+
+    # ------------------------------------------------------------------
+    def _resolve_journal(self) -> Optional[TelemetryJournal]:
+        """The journal this run writes to, or ``None`` when telemetry is off.
+
+        A fresh :class:`TelemetryJournal` (fresh run id) is built per run
+        unless the caller handed in a live instance.
+        """
+        journal = self.journal
+        if journal is None:
+            if self.store is not None and obs_metrics.enabled():
+                return TelemetryJournal(self.store.telemetry_path)
+            return None
+        if isinstance(journal, TelemetryJournal):
+            return journal
+        return TelemetryJournal(journal)
+
+    def _journal_cell(
+        self,
+        cell: CampaignCell,
+        source: str,
+        wall_seconds: float,
+        pid: int,
+        info: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Tally kernel fallbacks and append one per-cell journal record."""
+        if info is not None:
+            reason = str(info.get("kernel_fallback_reason") or "")
+            if reason:
+                self.kernel_fallbacks[reason] = self.kernel_fallbacks.get(reason, 0) + 1
+        if self.active_journal is None:
+            return
+        record: Dict[str, object] = {
+            "key": cell.key(),
+            "benchmark": cell.benchmark,
+            "config": cell.config.name,
+            "config_hash": content_hash(cell.config),
+            "trace_hash": cell.trace_hash,
+            "instructions": cell.instructions,
+            "wall_seconds": max(0.0, wall_seconds),
+            "worker_pid": pid,
+            "source": source,
+        }
+        if info is not None:
+            record.update(info)
+        self.active_journal.cell(**record)
 
     # ------------------------------------------------------------------
     def _observe_cell(
@@ -351,6 +492,11 @@ class ParallelExecutor:
         absent from ``results`` and the caller re-runs them serially.
         """
         by_key = {cell.key(): cell for cell in pending}
+        # Most recent cumulative metrics dump per worker pid (largest total
+        # wins, see _dump_total); merged after the pool drains so the parent
+        # snapshot includes worker-side counters exactly once per worker.
+        dumps_by_pid: Dict[int, dict] = {}
+        dump_totals: Dict[int, float] = {}
         try:
             payloads = self._trace_payloads(pending)
             workers = min(self.jobs, len(pending))
@@ -366,14 +512,20 @@ class ParallelExecutor:
             with multiprocessing.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(payloads, distinct_configs),
+                initargs=(payloads, distinct_configs, obs_metrics.enabled()),
             ) as pool:
                 self.used_pool = True
-                for key, payload, (pid, start, end) in pool.imap_unordered(
-                    _pool_cell, pending, chunksize=chunksize
+                for key, payload, (pid, start, end), info, dump in (
+                    pool.imap_unordered(_pool_cell, pending, chunksize=chunksize)
                 ):
                     cell = by_key[key]
                     self._observe_cell(cell, pid, start, end)
+                    self._journal_cell(cell, "computed", end - start, pid, info)
+                    if dump is not None and _dump_total(dump) >= dump_totals.get(
+                        pid, -1.0
+                    ):
+                        dumps_by_pid[pid] = dump
+                        dump_totals[pid] = _dump_total(dump)
                     done = self._record(
                         cell, result_from_dict(payload), results, done, total
                     )
@@ -388,6 +540,12 @@ class ParallelExecutor:
             )
             if obs_metrics.enabled():
                 obs_metrics.registry.counter("campaign.pool_fallbacks").inc()
+        if dumps_by_pid and obs_metrics.enabled():
+            # Sorted by pid: merge order is deterministic, and merge itself
+            # is order-independent (counters sum, gauges max), so any subset
+            # of worker dumps yields the same registry regardless of arrival.
+            for pid in sorted(dumps_by_pid):
+                obs_metrics.registry.merge(dumps_by_pid[pid])
         return done
 
     # ------------------------------------------------------------------

@@ -88,11 +88,19 @@ class ResultStore:
 
     MANIFEST = "campaign.json"
     CELL_DIR = "cells"
+    #: append-only telemetry journal written next to the manifest (see
+    #: :mod:`repro.obs.telemetry`); operational history, never results
+    TELEMETRY = "telemetry.jsonl"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.cell_dir = self.root / self.CELL_DIR
         self.cell_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def telemetry_path(self) -> Path:
+        """Where this store's telemetry journal lives (may not exist yet)."""
+        return self.root / self.TELEMETRY
 
     # ------------------------------------------------------------------
     def _cell_path(self, key: str) -> Path:

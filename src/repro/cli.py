@@ -50,7 +50,19 @@ directory layout):
     ``benchmarks/perf`` at the repository root.  ``--compare OLD.json
     NEW.json [--threshold PCT]`` compares two records without running
     anything and exits non-zero on regression beyond the threshold (the CI
-    bench-regression gate).
+    bench-regression gate).  ``--history`` tabulates every committed record
+    as a per-scenario trajectory (host mismatches flagged) without running
+    anything.
+
+``obs``
+    Query the telemetry journals a campaign store accumulates
+    (``telemetry.jsonl``, written by ``--metrics``/``--journal`` sweeps):
+    ``history`` tabulates every recorded run (when, host, cells, cells/sec,
+    kernel fallbacks), ``compare RUN_A RUN_B`` prints per-cell wall-time
+    deltas and flags regressions beyond ``--threshold``, ``cells --slowest
+    N`` lists the slowest cells of one run, and ``export`` renders a run's
+    merged metrics as OpenMetrics/Prometheus text for external scrapers.
+    Runs are addressed by id prefix or the shorthands ``last``/``prev``.
 
 ``report``
     Run benchmarks with the observation collector attached and print the
@@ -90,6 +102,12 @@ Examples::
     python -m repro bench --compare BENCH_old.json BENCH_new.json --threshold 20
     python -m repro report gzip --config MALEC --timeline timeline.json
     python -m repro --metrics sweep fig4-mini --trace-out sweep-trace.json
+    python -m repro --metrics sweep fig4-mini --jobs 4 --out results/fig4-mini
+    python -m repro obs history results/fig4-mini
+    python -m repro obs compare results/fig4-mini prev last --threshold 25
+    python -m repro obs cells results/fig4-mini --slowest 5
+    python -m repro obs export results/fig4-mini
+    python -m repro bench --history
     python -m repro profile fig4_mini_sweep_serial --collapsed stacks.txt
     python -m repro list
 """
@@ -375,6 +393,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="export per-worker cell-execution spans as Chrome trace-event "
         "JSON (open in Perfetto / chrome://tracing)",
     )
+    sweep.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="append per-cell telemetry records to FILE regardless of "
+        "--metrics (default: <out>/telemetry.jsonl, written automatically "
+        "when both --out and --metrics are given)",
+    )
     _add_trace_file_option(sweep)
 
     dse = commands.add_parser(
@@ -605,6 +631,83 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict the run and any --compare gate to these scenarios "
         "(default: all)",
     )
+    bench.add_argument(
+        "--history",
+        action="store_true",
+        help="tabulate every BENCH_*.json under --out (default: "
+        "benchmarks/perf) as a per-scenario trajectory, flagging records "
+        "taken on a different host; runs nothing",
+    )
+
+    obs = commands.add_parser(
+        "obs", help="query the telemetry journals of a campaign store"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_store_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "store",
+            metavar="STORE",
+            help="campaign store directory (or a telemetry.jsonl path)",
+        )
+
+    obs_history = obs_commands.add_parser(
+        "history", help="tabulate every run recorded in the journal"
+    )
+    _obs_store_argument(obs_history)
+
+    obs_compare = obs_commands.add_parser(
+        "compare", help="per-cell wall-time deltas between two runs"
+    )
+    _obs_store_argument(obs_compare)
+    obs_compare.add_argument(
+        "run_a", metavar="RUN_A", help="baseline run: id prefix, 'last' or 'prev'"
+    )
+    obs_compare.add_argument(
+        "run_b", metavar="RUN_B", help="candidate run: id prefix, 'last' or 'prev'"
+    )
+    obs_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="flag cells more than PCT percent slower (default: 20)",
+    )
+    obs_compare.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any cell regresses beyond --threshold",
+    )
+
+    obs_cells = obs_commands.add_parser(
+        "cells", help="list the slowest computed cells of one run"
+    )
+    _obs_store_argument(obs_cells)
+    obs_cells.add_argument(
+        "--run",
+        default="last",
+        metavar="RUN",
+        help="run to inspect: id prefix, 'last' or 'prev' (default: last)",
+    )
+    obs_cells.add_argument(
+        "--slowest",
+        type=_positive_int,
+        default=10,
+        metavar="N",
+        help="number of cells to list (default: 10)",
+    )
+
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="render a run's merged metrics as OpenMetrics/Prometheus text",
+    )
+    _obs_store_argument(obs_export)
+    obs_export.add_argument(
+        "--run",
+        default="last",
+        metavar="RUN",
+        help="run to export: id prefix, 'last' or 'prev' (default: last)",
+    )
 
     report = commands.add_parser(
         "report",
@@ -787,7 +890,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     progress = _cell_progress(args.quiet)
 
     executor = ParallelExecutor(
-        jobs=args.jobs, store=store, progress=progress, trace_log=trace_log
+        jobs=args.jobs,
+        store=store,
+        progress=progress,
+        trace_log=trace_log,
+        journal=args.journal,
     )
     results = executor.run(spec)
     if progress is not None:
@@ -798,6 +905,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"campaign '{spec.name}': {ran} cell(s) simulated, {skipped} resumed "
         f"from store ({'serial' if not executor.used_pool else f'{executor.jobs} jobs'})"
     )
+    if executor.active_journal is not None:
+        print(
+            f"telemetry journal: {executor.active_journal.path} "
+            f"(run {executor.active_journal.run_id})"
+        )
     baseline = spec.configuration_names()[0]
     if store is not None:
         print(f"results: {store.root} ({len(store)} records)")
@@ -1119,6 +1231,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    # Imported lazily: journal queries never need the simulator stack warm.
+    from repro.obs import telemetry
+
+    journal_path = telemetry.resolve_journal(args.store)
+    if not journal_path.exists():
+        print(
+            f"repro: no telemetry journal at {journal_path} (run a sweep "
+            "with --metrics and --out, or --journal, first)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        runs = telemetry.load_runs(journal_path)
+    except (OSError, ValueError) as error:
+        print(f"repro: cannot read {journal_path}: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.obs_command == "history":
+            print(telemetry.format_history(runs))
+            return 0
+        if args.obs_command == "compare":
+            comparison = telemetry.compare_runs(
+                telemetry.resolve_run(runs, args.run_a),
+                telemetry.resolve_run(runs, args.run_b),
+                threshold_pct=args.threshold,
+            )
+            print(telemetry.format_compare(comparison))
+            if args.check and comparison["regressions"]:
+                return 1
+            return 0
+        if args.obs_command == "cells":
+            run = telemetry.resolve_run(runs, args.run)
+            print(telemetry.format_cells(run, telemetry.slowest_cells(run, args.slowest)))
+            return 0
+        if args.obs_command == "export":
+            run = telemetry.resolve_run(runs, args.run)
+            dump = (run.footer or {}).get("metrics")
+            if not isinstance(dump, dict):
+                print(
+                    f"repro: run {run.run_id} recorded no metrics dump "
+                    "(the sweep ran without --metrics)",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.obs.metrics import render_openmetrics
+
+            print(render_openmetrics(dump), end="")
+            return 0
+    except ValueError as error:
+        # Unknown/ambiguous run tokens and malformed dumps are usage errors.
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command!r}"
+    )  # pragma: no cover
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     # Imported lazily: pulling in repro.bench (and its workload imports) is
     # only worth it when actually profiling.
@@ -1170,6 +1340,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_report(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "bench":
         from repro.bench import main_bench
 

@@ -24,9 +24,18 @@ Four pillars, one module each:
     Run-scoped stdlib logging behind ``--verbose/--quiet/--log-json``, the
     TTY progress line for sweeps, and ``repro profile`` (cProfile +
     collapsed stacks over the bench scenarios).
+
+Plus the durable layer on top (PR 9):
+
+:mod:`repro.obs.telemetry` / :mod:`repro.obs.hostinfo`
+    The append-only per-cell ``telemetry.jsonl`` journal written next to
+    every campaign store, the cross-run ``repro obs`` queries
+    (history/compare/cells/export), and the shared host-identity block the
+    bench harness stamps into its reports.
 """
 
-from repro.obs import metrics
+from repro.obs import metrics, telemetry
+from repro.obs.hostinfo import detect_revision, host_metadata
 from repro.obs.attribution import RunAttribution, attribute_run, format_attribution
 from repro.obs.collector import CYCLE_CATEGORIES, RunCollector
 from repro.obs.logs import configure as configure_logging
@@ -41,6 +50,9 @@ from repro.obs.traceevent import (
 
 __all__ = [
     "metrics",
+    "telemetry",
+    "detect_revision",
+    "host_metadata",
     "RunAttribution",
     "attribute_run",
     "format_attribution",

@@ -39,6 +39,7 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "render_openmetrics",
 ]
 
 
@@ -201,6 +202,85 @@ class MetricsRegistry:
                     }
             return out
 
+    def dump(self) -> Dict[str, dict]:
+        """Typed, JSON-able state of every metric, sorted by name.
+
+        Unlike :meth:`snapshot` (a human/diff-friendly rendering that
+        collapses counters and gauges to plain numbers), ``dump`` keeps the
+        instrument kind so another registry can :meth:`merge` it without
+        guessing — this is the wire format pool workers ship back to the
+        campaign parent and the journal footer persists.
+        """
+        with self._lock:
+            out: Dict[str, dict] = {}
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if isinstance(metric, Counter):
+                    out[name] = {"kind": "counter", "value": metric.value}
+                elif isinstance(metric, Gauge):
+                    out[name] = {"kind": "gauge", "value": metric.value}
+                else:
+                    assert isinstance(metric, Histogram)
+                    out[name] = {
+                        "kind": "histogram",
+                        "buckets": list(metric.buckets),
+                        "bucket_counts": list(metric.bucket_counts),
+                        "count": metric.count,
+                        "sum": metric.sum,
+                        "min": metric.min,
+                        "max": metric.max,
+                    }
+            return out
+
+    def merge(self, dump: Dict[str, dict]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Deterministic and order-independent across a *set* of dumps:
+        counters sum, gauges keep the maximum observed value, histograms
+        merge bucket-wise (bucket bounds must match exactly — a mismatch
+        raises ``ValueError`` rather than silently misbinning).  Merging the
+        same dumps in any order therefore yields an identical registry,
+        which is what makes a ``jobs=4`` metrics snapshot reproducible even
+        though pool results arrive in a nondeterministic order.
+        """
+        for name in sorted(dump):
+            entry = dump[name]
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(entry["value"]))
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(max(gauge.value, float(entry["value"])))
+            elif kind == "histogram":
+                histogram = self.histogram(name, tuple(entry["buckets"]))
+                if list(histogram.buckets) != list(entry["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ: "
+                        f"{list(histogram.buckets)} vs {list(entry['buckets'])}"
+                    )
+                with self._lock:
+                    for index, count in enumerate(entry["bucket_counts"]):
+                        histogram.bucket_counts[index] += int(count)
+                    histogram.count += int(entry["count"])
+                    histogram.sum += float(entry["sum"])
+                    for bound_name, pick in (("min", min), ("max", max)):
+                        incoming = entry.get(bound_name)
+                        if incoming is None:
+                            continue
+                        current = getattr(histogram, bound_name)
+                        setattr(
+                            histogram,
+                            bound_name,
+                            incoming if current is None else pick(current, incoming),
+                        )
+            else:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+
+    def snapshot_openmetrics(self) -> str:
+        """The registry rendered as OpenMetrics text (see
+        :func:`render_openmetrics`)."""
+        return render_openmetrics(self.dump())
+
     def clear(self) -> None:
         """Drop every metric (test isolation / fresh runs)."""
         with self._lock:
@@ -209,6 +289,64 @@ class MetricsRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._metrics)
+
+
+def _openmetrics_name(name: str) -> str:
+    """Map a dotted metric name onto the OpenMetrics charset.
+
+    ``campaign.cells_completed`` -> ``campaign_cells_completed``; anything
+    outside ``[a-zA-Z0-9_:]`` becomes ``_``, and a leading digit gets an
+    underscore prefix so the result is always a valid exposition name.
+    """
+    sanitized = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch in "_:")) else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _openmetrics_number(value: float) -> str:
+    """Render a sample value: whole floats without the trailing ``.0``."""
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(dump: Dict[str, dict]) -> str:
+    """Render a :meth:`MetricsRegistry.dump` as OpenMetrics text exposition.
+
+    The subset external scrapers (Prometheus and friends) understand:
+    ``# TYPE`` metadata, ``_total`` counter samples, gauges, and histograms
+    with cumulative ``le``-labelled buckets plus ``_count``/``_sum``,
+    terminated by ``# EOF``.  Deterministic: names render sorted, so the
+    same registry state always produces byte-identical text.
+    """
+    lines: List[str] = []
+    for name in sorted(dump):
+        entry = dump[name]
+        om_name = _openmetrics_name(name)
+        kind = entry.get("kind")
+        if kind == "counter":
+            lines.append(f"# TYPE {om_name} counter")
+            lines.append(f"{om_name}_total {_openmetrics_number(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {om_name} gauge")
+            lines.append(f"{om_name} {_openmetrics_number(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {om_name} histogram")
+            cumulative = 0
+            bounds = [str(bound) for bound in entry["buckets"]] + ["+Inf"]
+            for bound, count in zip(bounds, entry["bucket_counts"]):
+                cumulative += int(count)
+                lines.append(f'{om_name}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f"{om_name}_count {int(entry['count'])}")
+            lines.append(f"{om_name}_sum {_openmetrics_number(entry['sum'])}")
+        else:
+            raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 #: the process-wide default registry the CLI and executor share

@@ -32,6 +32,7 @@ __all__ = [
     "TraceEventLog",
     "SCHEMA_PATH",
     "load_schema",
+    "validate_payload",
     "validate_trace_events",
     "SchemaError",
 ]
@@ -229,6 +230,18 @@ def _validate(value, schema: dict, path: str) -> None:
     if minimum is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
         if value < minimum:
             raise SchemaError(f"{path}: {value} below minimum {minimum}")
+
+
+def validate_payload(value, schema: dict, path: str = "$") -> None:
+    """Validate any JSON value against a mini-schema (shared entry point).
+
+    The same dependency-free subset :func:`validate_trace_events` uses
+    (type/properties/required/items/enum/minimum), exposed for other
+    checked-in schemas — the telemetry journal validates its records
+    against ``telemetry_record.schema.json`` through this.  Raises
+    :class:`SchemaError` on the first violation.
+    """
+    _validate(value, schema, path)
 
 
 def validate_trace_events(

@@ -104,18 +104,38 @@ _CACHE: Dict[str, KernelProgram] = {}
 _CACHE_LIMIT = 512
 
 
+def _bump(name: str, amount: float = 1.0) -> None:
+    """Bump an obs counter iff metrics are on (lazy import: repro.obs pulls
+    in the simulator, which imports this module — a top-level import would
+    be circular)."""
+    from repro.obs import metrics as obs_metrics
+
+    if obs_metrics.enabled():
+        obs_metrics.registry.counter(name).inc(amount)
+
+
 def kernel_source(config: SimulationConfig) -> str:
     """The generated module text for ``config`` (for dumping/debugging)."""
     digest = content_hash(config)
     return generate_source(build_spec(config), digest)
 
 
-def compile_kernel(config: SimulationConfig) -> KernelProgram:
-    """Build (or fetch from the per-process cache) ``config``'s kernel."""
+def compile_kernel(config: SimulationConfig, _count: bool = True) -> KernelProgram:
+    """Build (or fetch from the per-process cache) ``config``'s kernel.
+
+    Bumps ``kernel.cache.hit``/``kernel.cache.miss`` when metrics are on;
+    :func:`prewarm` passes ``_count=False`` so warm-up compiles stay out of
+    the hit/miss ledger and the counters stay invariant across job counts
+    (prewarmed pool worker vs cold serial path).
+    """
     digest = content_hash(config)
     program = _CACHE.get(digest)
     if program is not None:
+        if _count:
+            _bump("kernel.cache.hit")
         return program
+    if _count:
+        _bump("kernel.cache.miss")
     spec = build_spec(config)
     source = generate_source(spec, digest)
     filename = f"<repro-kernel-{spec['kind']}-{digest[:8]}>"
@@ -156,6 +176,10 @@ def prewarm(configs: Iterable[SimulationConfig]) -> int:
         if digest in seen:
             continue
         seen.add(digest)
-        compile_kernel(config)
+        compile_kernel(config, _count=False)
         compiled += 1
+    if compiled:
+        # Counts distinct configs *processed*, not cache misses, so the value
+        # is deterministic whether or not the cache was already warm.
+        _bump("kernel.prewarm", compiled)
     return compiled

@@ -188,12 +188,28 @@ class Simulator:
             commit_width=self.config.pipeline.commit_width,
         )
 
+    @staticmethod
+    def _count_kernel_fallback(reason: str) -> None:
+        """Bump the ``kernel.fallback.<reason>`` counter iff metrics are on.
+
+        Lazy import: ``repro.obs`` pulls in this module (attribution), so a
+        top-level import would be circular — same idiom as the columnar
+        frontend import below.
+        """
+        from repro.obs import metrics as obs_metrics
+
+        if obs_metrics.enabled():
+            slug = reason.replace(" ", "_")
+            obs_metrics.registry.counter(f"kernel.fallback.{slug}").inc()
+
     def _kernel_entry(self, kernel: Optional[str], collector):
         """Resolve the kernel selection and compile the entry point (or not).
 
         Returns the compiled ``kernel_run`` callable, or ``None`` when the
         generic loop should run — recording why in
-        ``kernel_fallback_reason`` so ``repro report`` can say so.
+        ``kernel_fallback_reason`` so ``repro report`` can say so (and, with
+        metrics on, bumping ``kernel.fallback.<reason>`` so the observer
+        effect shows up in snapshots and telemetry journals too).
         """
         choice = resolve_kernel(kernel)
         self.kernel_requested = choice
@@ -206,6 +222,7 @@ class Simulator:
             # kernels have no per-stage hooks, so collector runs take the
             # generic path (bit-identical results either way).
             self.kernel_fallback_reason = "collector attached"
+            self._count_kernel_fallback(self.kernel_fallback_reason)
             return None
         return compile_kernel(self.config).entry
 
@@ -216,6 +233,7 @@ class Simulator:
         self.kernel_used = pipeline.kernel_used
         if pipeline.kernel_fallback:
             self.kernel_fallback_reason = "runtime guard mismatch"
+            self._count_kernel_fallback(self.kernel_fallback_reason)
 
     def run(
         self,
