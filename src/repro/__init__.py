@@ -37,6 +37,7 @@ Quick start::
     print(malec.energy.total_pj / base.energy.total_pj)
 """
 
+from repro.api import RunOptions
 from repro.memory.address import AddressLayout, DEFAULT_LAYOUT
 from repro.sim.config import (
     CacheParameters,
@@ -72,6 +73,7 @@ __all__ = [
     "PipelineParameters",
     "SimulationConfig",
     "TLBParameters",
+    "RunOptions",
     "SimulationResult",
     "Simulator",
     "run_configuration",

@@ -176,7 +176,8 @@ class ExperimentRunner:
 
         ``jobs`` fans the sweep out over that many worker processes (the
         default uses one worker per CPU core);
-        ``store`` (a :class:`~repro.campaign.store.ResultStore`) persists
+        ``store`` (a :class:`~repro.campaign.store.ResultStore` or a store
+        URL such as ``json:results/dir`` or ``sqlite:results.db``) persists
         every cell and lets a repeated run resume instead of recompute;
         ``progress`` is forwarded to the executor (see
         :class:`~repro.campaign.executor.ParallelExecutor`).

@@ -40,13 +40,25 @@ from repro.campaign.spec import (
     config_from_dict,
     config_to_dict,
 )
-from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
+from repro.campaign.store import (
+    ResultStore,
+    StoreBackend,
+    StoreConflictError,
+    StoreURLError,
+    open_store,
+    result_from_dict,
+    result_to_dict,
+)
 
 __all__ = [
     "CampaignCell",
     "CampaignSpec",
     "ParallelExecutor",
     "ResultStore",
+    "StoreBackend",
+    "StoreConflictError",
+    "StoreURLError",
+    "open_store",
     "PRESET_NAMES",
     "campaign_preset",
     "cell_key",

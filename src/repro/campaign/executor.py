@@ -39,14 +39,15 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.experiments import BenchmarkRun, ExperimentResults
+from repro.api import RunOptions
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore, result_from_dict, result_to_dict
 from repro.obs import metrics as obs_metrics
 from repro.obs.logs import get_logger
 from repro.obs.telemetry import TelemetryJournal
-from repro.sim.kernels import content_hash, prewarm, resolve_kernel
+from repro.sim.kernels import content_hash, prewarm
 from repro.sim.simulator import SimulationResult, Simulator
-from repro.workloads.columnar import ColumnarTrace, resolve_frontend
+from repro.workloads.columnar import ColumnarTrace
 from repro.workloads.registry import registered_trace, workload_suite
 from repro.workloads.suites import benchmark_profile
 from repro.workloads.synthetic import generate_trace
@@ -74,6 +75,30 @@ _PROCESS_TRACES: TraceCache = {}
 #: serialized traces installed by the pool initializer (worker side)
 _WORKER_TRACE_BYTES: Dict[TraceKey, bytes] = {}
 
+#: resolved ``(frontend, kernel, scheduler)`` names installed by the pool
+#: initializer — the parent resolves its :class:`RunOptions` exactly once
+#: and ships the strings, so workers never consult the (deprecated)
+#: environment themselves
+_WORKER_RUN_OPTIONS: Optional[Tuple[str, str, str]] = None
+
+
+def _default_run_options() -> Tuple[str, str, str]:
+    """Resolved ``(frontend, kernel, scheduler)`` for bare calls.
+
+    Pool workers use the tuple their initializer installed; anything else
+    (the serial path without an executor, tests poking the helpers) falls
+    back to a fresh :meth:`RunOptions.from_env` resolution — the same
+    defaults-plus-deprecated-environment rule as everywhere else.
+    """
+    if _WORKER_RUN_OPTIONS is not None:
+        return _WORKER_RUN_OPTIONS
+    options = RunOptions.from_env()
+    return (
+        options.resolved_frontend(),
+        options.resolved_kernel(),
+        options.resolved_scheduler(),
+    )
+
 
 #: soft cap on cached traces; a long-lived process sweeping many distinct
 #: (benchmark, length, seed) shapes resets the cache instead of growing it
@@ -81,13 +106,14 @@ _WORKER_TRACE_BYTES: Dict[TraceKey, bytes] = {}
 _TRACE_CACHE_LIMIT = 256
 
 
-def _cached_trace(cell: CampaignCell, cache: TraceCache):
+def _cached_trace(cell: CampaignCell, cache: TraceCache, frontend: Optional[str] = None):
     """Resolve (or fetch) the deterministic trace of ``cell``.
 
     Resolution order: the per-process cache, the ``.rtrc`` bytes a pool
     parent shipped, the ingested-trace registry (truncated to the cell's
     instruction budget), and finally synthetic generation from the benchmark
-    profile.
+    profile.  ``frontend`` decides how shipped bytes are decoded; ``None``
+    falls back to :func:`_default_run_options`.
     """
     key = (cell.benchmark, cell.instructions, cell.trace_seed(), cell.trace_hash)
     trace = cache.get(key)
@@ -106,7 +132,9 @@ def _cached_trace(cell: CampaignCell, cache: TraceCache):
             # — a handful of strided slices instead of one Instruction per
             # record — and the view (plus its cached pipeline arrays) is
             # reused by every cell of this trace in the worker.
-            if resolve_frontend() == "columnar":
+            if frontend is None:
+                frontend = _default_run_options()[0]
+            if frontend == "columnar":
                 trace = ColumnarTrace.from_rtrc_bytes(payload)
             else:
                 trace = MemoryTrace.from_bytes(payload)
@@ -128,34 +156,48 @@ def _cached_trace(cell: CampaignCell, cache: TraceCache):
 
 
 def _execute_cell(
-    cell: CampaignCell, cache: TraceCache
+    cell: CampaignCell,
+    cache: TraceCache,
+    run_options: Optional[Tuple[str, str, str]] = None,
 ) -> Tuple[SimulationResult, Dict[str, object]]:
     """Run one cell's simulation using ``cache`` for trace reuse.
 
-    Returns the result plus the execution facts the telemetry journal
-    records per cell: which kernel was requested, whether it actually ran
-    (and why not), and the scheduler/frontend the run went through.
+    ``run_options`` is the resolved ``(frontend, kernel, scheduler)`` triple
+    the executor threads through (``None`` resolves fresh, see
+    :func:`_default_run_options`).  Returns the result plus the execution
+    facts the telemetry journal records per cell: which kernel was
+    requested, whether it actually ran (and why not), and the
+    scheduler/frontend the run went through.
     """
-    trace = _cached_trace(cell, cache)
+    frontend, kernel, scheduler = (
+        run_options if run_options is not None else _default_run_options()
+    )
+    trace = _cached_trace(cell, cache, frontend)
     simulator = Simulator(cell.config)
-    result = simulator.run(trace, warmup_fraction=cell.warmup_fraction)
+    result = simulator.run(
+        trace,
+        warmup_fraction=cell.warmup_fraction,
+        options=RunOptions(frontend=frontend, kernel=kernel, scheduler=scheduler),
+    )
     info: Dict[str, object] = {
         "kernel": simulator.kernel_requested,
         "kernel_used": simulator.kernel_used,
         "kernel_fallback_reason": simulator.kernel_fallback_reason or "",
-        # The campaign path always runs the pipeline's default event-driven
-        # scheduler and whatever frontend the process resolves to.
-        "scheduler": "event",
-        "frontend": resolve_frontend(),
+        "scheduler": scheduler,
+        "frontend": frontend,
     }
     return result, info
 
 
 def _init_worker(
-    trace_bytes: Dict[TraceKey, bytes], configs=(), metrics_on: bool = False
+    trace_bytes: Dict[TraceKey, bytes],
+    configs=(),
+    metrics_on: bool = False,
+    run_options: Optional[Tuple[str, str, str]] = None,
 ) -> None:
-    """Pool initializer: install the parent's serialized traces, compile the
-    campaign's specialized simulation kernels up front, and reset metrics.
+    """Pool initializer: install the parent's serialized traces and resolved
+    run options, compile the campaign's specialized simulation kernels up
+    front, and reset metrics.
 
     Kernels are cached per config content-hash (see :mod:`repro.sim.kernels`),
     so each worker pays generation+compile once per distinct configuration
@@ -167,13 +209,16 @@ def _init_worker(
     slate either way, and the enabled flag is set explicitly from the
     parent's state (fork inherits it, spawn would not).
     """
+    global _WORKER_RUN_OPTIONS
     _WORKER_TRACE_BYTES.update(trace_bytes)
+    if run_options is not None:
+        _WORKER_RUN_OPTIONS = tuple(run_options)
     obs_metrics.registry.clear()
     if metrics_on:
         obs_metrics.enable()
     else:
         obs_metrics.disable()
-    if configs and resolve_kernel() == "specialized":
+    if configs and _default_run_options()[1] == "specialized":
         prewarm(configs)
 
 
@@ -222,10 +267,22 @@ class ParallelExecutor:
     ----------
     jobs:
         Worker process count; ``None`` (default) uses one worker per CPU
-        core, ``1`` forces the serial in-process path.
+        core, ``1`` forces the serial in-process path.  Deprecated fallback
+        for ``options=``.
     store:
-        Optional :class:`ResultStore`. When given, completed cells are
-        persisted as they finish and already-stored cells are skipped.
+        Optional store: a live :class:`ResultStore`, a store URL
+        (``json:dir`` / ``sqlite:db``) or a bare directory path.  When
+        given, completed cells are persisted as they finish and
+        already-stored cells are skipped.  Deprecated fallback for
+        ``options=``.
+    options:
+        A :class:`repro.api.RunOptions` — the preferred way to configure
+        execution (frontend, kernel, scheduler, jobs, store URL).  The
+        selections are resolved exactly once here and threaded through the
+        serial path and the pool initializer, so worker processes never
+        consult the deprecated environment variables themselves.  Mixing
+        ``options=`` with the legacy ``jobs=``/``store=`` keywords raises
+        ``ValueError``.
     progress:
         Optional ``progress(event, cell, done, total)`` callback.
     trace_cache:
@@ -249,18 +306,40 @@ class ParallelExecutor:
     def __init__(
         self,
         jobs: Optional[int] = None,
-        store: Optional[ResultStore] = None,
+        store: Optional[Union[str, ResultStore]] = None,
         progress: Optional[ProgressCallback] = None,
         trace_cache: Optional[TraceCache] = None,
         trace_log=None,
         journal=None,
+        options: Optional[RunOptions] = None,
     ) -> None:
+        if options is not None:
+            if jobs is not None or store is not None:
+                raise ValueError(
+                    "pass options= or the legacy jobs=/store= keywords, not both"
+                )
+        else:
+            options = RunOptions.from_env(jobs=jobs, store=store)
+        if options.collector is not None:
+            raise ValueError(
+                "campaign execution does not support collectors; attach one "
+                "through Simulator.run instead"
+            )
+        self.options = options
+        #: resolved (frontend, kernel, scheduler) — computed once, threaded
+        #: through the serial path and shipped to pool workers
+        self._run_options: Tuple[str, str, str] = (
+            options.resolved_frontend(),
+            options.resolved_kernel(),
+            options.resolved_scheduler(),
+        )
+        jobs = options.jobs
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
-        self.store = store
+        self.store = options.open_store()
         self.progress = progress
         self.trace_cache: TraceCache = (
             trace_cache if trace_cache is not None else _PROCESS_TRACES
@@ -325,7 +404,7 @@ class ParallelExecutor:
             # Any cells a broken pool failed to deliver fall through to the
             # serial path, which always finishes the sweep.
             remaining = [cell for cell in pending if cell.key() not in results]
-            if remaining and resolve_kernel() == "specialized":
+            if remaining and self._run_options[1] == "specialized":
                 # Mirror the pool initializer's prewarm so the kernel cache
                 # hit/miss counters are invariant across job counts: prewarm
                 # compiles are uncounted, per-cell probes all hit.
@@ -334,7 +413,7 @@ class ParallelExecutor:
                 )
             for cell in remaining:
                 start = time.time()
-                result, info = _execute_cell(cell, self.trace_cache)
+                result, info = _execute_cell(cell, self.trace_cache, self._run_options)
                 end = time.time()
                 self._observe_cell(cell, parent_pid, start, end)
                 self._journal_cell(cell, "computed", end - start, parent_pid, info)
@@ -342,6 +421,11 @@ class ParallelExecutor:
 
         elapsed = time.perf_counter() - started
         self._flush_run_observations(elapsed)
+        if self.store is not None:
+            # Fail loudly if a concurrent sweep of a *different* campaign
+            # clobbered this store's manifest while we ran (json: backend;
+            # the sqlite: backend never loses manifest writes).
+            self.store.check_manifest()
         if self.active_journal is not None:
             self.active_journal.run_end(
                 cells_computed=len(self.completed_cells),
@@ -475,7 +559,9 @@ class ParallelExecutor:
         for cell in pending:
             key = (cell.benchmark, cell.instructions, cell.trace_seed(), cell.trace_hash)
             if key not in payloads:
-                payloads[key] = _cached_trace(cell, self.trace_cache).to_bytes()
+                payloads[key] = _cached_trace(
+                    cell, self.trace_cache, self._run_options[0]
+                ).to_bytes()
         return payloads
 
     def _run_pool(
@@ -512,7 +598,12 @@ class ParallelExecutor:
             with multiprocessing.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(payloads, distinct_configs, obs_metrics.enabled()),
+                initargs=(
+                    payloads,
+                    distinct_configs,
+                    obs_metrics.enabled(),
+                    self._run_options,
+                ),
             ) as pool:
                 self.used_pool = True
                 for key, payload, (pid, start, end), info, dump in (

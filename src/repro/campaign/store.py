@@ -1,34 +1,55 @@
 """Persistent campaign result store: one JSON record per simulated cell.
 
-Layout of a campaign directory::
+:class:`ResultStore` is the cell-level API the campaign engine talks to —
+``contains / put / get / records`` in terms of :class:`CampaignCell` and
+:class:`~repro.sim.simulator.SimulationResult`.  Storage itself lives behind
+the pluggable :class:`~repro.campaign.backends.StoreBackend` interface,
+selected by store URL:
 
-    <root>/
-        campaign.json          # manifest of the spec that (last) ran here
-        cells/
-            <key>.json         # one record per completed cell
+``json:path/to/dir`` (or a bare path)
+    The original directory layout — ``campaign.json`` manifest plus one
+    ``cells/<key>.json`` file per completed cell, written atomically
+    (temp file + ``os.replace``).  Unchanged on disk, so stores written
+    before the backend interface existed keep resuming.
+``sqlite:path/to/db``
+    A single SQLite database in WAL mode, safe for concurrent writers
+    from multiple processes.
 
 Every record carries the cell identity (benchmark, suite, full configuration
 fingerprint, trace length, warm-up, seed), its deterministic key and the
 complete :class:`~repro.sim.simulator.SimulationResult` — counters, derived
 stats and the per-structure energy report — so analyses can be rebuilt from
-the directory alone, without re-running any simulation.
-
-Records are written atomically (temp file + ``os.replace``), so an
-interrupted sweep never leaves a truncated record behind and a re-run simply
-resumes from the cells that finished.
+the store alone, without re-running any simulation.  Keys are pure functions
+of the cell content and puts are atomic + idempotent, so the store is safe
+to share between the worker processes of one sweep and between successive
+sweeps: a re-run simply resumes from the cells that finished.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+from repro.campaign.backends import (
+    StoreBackend,
+    StoreConflictError,
+    StoreURLError,
+    backend_for_url,
+)
 from repro.campaign.spec import CampaignCell, CampaignSpec, config_to_dict
 from repro.energy.accounting import EnergyReport, StructureEnergy
 from repro.sim.simulator import SimulationResult
 from repro.workloads.registry import workload_suite
+
+__all__ = [
+    "ResultStore",
+    "StoreBackend",
+    "StoreConflictError",
+    "StoreURLError",
+    "open_store",
+    "result_from_dict",
+    "result_to_dict",
+]
 
 
 # ----------------------------------------------------------------------
@@ -79,42 +100,56 @@ def result_from_dict(data: dict) -> SimulationResult:
 # The store
 # ----------------------------------------------------------------------
 class ResultStore:
-    """Directory-backed store of campaign cell results, keyed by content hash.
+    """Cell-level store of campaign results, keyed by content hash.
 
-    The store is safe to share between the worker processes of one sweep and
-    between successive sweeps: keys are pure functions of the cell content,
-    writes are atomic, and :meth:`get` reads straight from disk.
+    Construct from a store URL (``json:dir``, ``sqlite:db``), a bare
+    directory path (historical behaviour: a JSON campaign directory), or a
+    ready-made :class:`StoreBackend`.
     """
 
     MANIFEST = "campaign.json"
     CELL_DIR = "cells"
-    #: append-only telemetry journal written next to the manifest (see
+    #: append-only telemetry journal written next to the results (see
     #: :mod:`repro.obs.telemetry`); operational history, never results
     TELEMETRY = "telemetry.jsonl"
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
-        self.cell_dir = self.root / self.CELL_DIR
-        self.cell_dir.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: Union[str, Path, StoreBackend]) -> None:
+        if isinstance(root, StoreBackend):
+            self.backend = root
+        else:
+            self.backend = backend_for_url(root)
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The canonical store URL addressing this store's backend."""
+        return self.backend.url
+
+    @property
+    def root(self) -> Path:
+        """Directory sidecar artifacts live in (the store directory for
+        ``json:``, the database's parent directory for ``sqlite:``)."""
+        return self.backend.artifact_dir
+
+    @property
+    def cell_dir(self) -> Path:
+        """The per-cell JSON directory (``json:`` backend only)."""
+        cell_dir = getattr(self.backend, "cell_dir", None)
+        if cell_dir is None:
+            raise AttributeError(
+                f"store backend {self.backend.scheme}: keeps no cell directory"
+            )
+        return cell_dir
 
     @property
     def telemetry_path(self) -> Path:
         """Where this store's telemetry journal lives (may not exist yet)."""
-        return self.root / self.TELEMETRY
-
-    # ------------------------------------------------------------------
-    def _cell_path(self, key: str) -> Path:
-        return self.cell_dir / f"{key}.json"
-
-    def _atomic_write(self, path: Path, payload: dict) -> None:
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
-        os.replace(tmp, path)
+        return self.backend.telemetry_path
 
     # ------------------------------------------------------------------
     def contains(self, cell: CampaignCell) -> bool:
         """True if this cell's result has already been persisted."""
-        return self._cell_path(cell.key()).exists()
+        return self.backend.has(cell.key())
 
     __contains__ = contains
 
@@ -134,37 +169,62 @@ class ResultStore:
         }
         if cell.trace_hash:
             record["trace_hash"] = cell.trace_hash
-        self._atomic_write(self._cell_path(key), record)
+        self.backend.put(key, record)
         return key
 
     def get(self, cell: CampaignCell) -> Optional[SimulationResult]:
         """The stored result of ``cell``, or ``None`` if it has not run yet."""
-        path = self._cell_path(cell.key())
-        if not path.exists():
+        record = self.backend.get(cell.key())
+        if record is None:
             return None
-        return result_from_dict(json.loads(path.read_text())["result"])
+        return result_from_dict(record["result"])
 
     # ------------------------------------------------------------------
     def keys(self) -> List[str]:
         """Keys of all persisted cells (sorted for determinism)."""
-        return sorted(path.stem for path in self.cell_dir.glob("*.json"))
+        return self.backend.keys()
 
     def __len__(self) -> int:
-        return len(self.keys())
+        return len(self.backend)
 
     def records(self) -> Iterator[dict]:
         """Iterate over all persisted records, in key order."""
-        for key in self.keys():
-            yield json.loads(self._cell_path(key).read_text())
+        return self.backend.iterate()
+
+    def record(self, key: str) -> Optional[dict]:
+        """The full stored record of ``key``, or ``None`` (serve fetch-cell)."""
+        return self.backend.get(key)
 
     # ------------------------------------------------------------------
     def write_manifest(self, spec: CampaignSpec) -> None:
         """Record the campaign spec that produced (or extended) this store."""
-        self._atomic_write(self.root / self.MANIFEST, spec.describe())
+        self.backend.write_manifest(spec.describe())
 
     def manifest(self) -> Optional[dict]:
         """The stored campaign manifest, or ``None`` for a bare cell store."""
-        path = self.root / self.MANIFEST
-        if not path.exists():
-            return None
-        return json.loads(path.read_text())
+        return self.backend.manifest()
+
+    def check_manifest(self) -> None:
+        """Fail loudly if a concurrent sweep clobbered this store's manifest."""
+        self.backend.check_manifest()
+
+    def close(self) -> None:
+        """Release backend resources (connections); safe to call twice."""
+        self.backend.close()
+
+
+def open_store(
+    store: Union[None, str, Path, StoreBackend, ResultStore],
+) -> Optional[ResultStore]:
+    """Coerce any ``store=`` value into a live :class:`ResultStore`.
+
+    ``None`` passes through (no persistence), an existing :class:`ResultStore`
+    is returned as-is, and strings/paths are parsed as store URLs — so every
+    ``--store`` flag and ``store=`` kwarg accepts the same spellings.
+    Raises :class:`StoreURLError` for an unsupported scheme.
+    """
+    if store is None:
+        return None
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

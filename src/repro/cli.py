@@ -116,6 +116,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -126,7 +127,7 @@ from repro.analysis.reporting import format_frontier, format_table, frontier_csv
 from repro.campaign.aggregate import summarize_results, summarize_store
 from repro.campaign.executor import ParallelExecutor
 from repro.campaign.spec import PRESET_NAMES, campaign_preset
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, StoreURLError, open_store
 from repro.dse.engine import run_dse
 from repro.dse.objectives import (
     DEFAULT_OBJECTIVES,
@@ -177,6 +178,27 @@ def _warmup_fraction(text: str) -> float:
     if not 0.0 <= value < 1.0:
         raise argparse.ArgumentTypeError(f"must lie in [0, 1), got {value}")
     return value
+
+
+#: help text shared by every --store flag
+_STORE_HELP = (
+    "store URL: json:DIR (one JSON record per cell; a bare path means the "
+    "same), or sqlite:FILE (single WAL database, safe for concurrent "
+    "sweeps)"
+)
+
+
+def _open_store_flags(store: Optional[str], out: Optional[str]) -> Optional[ResultStore]:
+    """Resolve the ``--store URL`` / deprecated ``--out DIR`` pair.
+
+    ``--out DIR`` keeps its historical meaning (a JSON campaign directory);
+    giving both flags, or an unsupported URL scheme, raises
+    :class:`StoreURLError` — reported as a usage error (exit 2) by the
+    callers.
+    """
+    if store is not None and out is not None:
+        raise StoreURLError("pass --store URL or the deprecated --out DIR, not both")
+    return open_store(store if store is not None else out)
 
 
 def _add_trace_file_option(parser: argparse.ArgumentParser) -> None:
@@ -377,11 +399,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default: one per CPU core)",
     )
     sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help=f"{_STORE_HELP}; completed cells persist and re-runs resume "
+        "(default: in-memory only)",
+    )
+    sweep.add_argument(
         "--out",
         default=None,
         metavar="DIR",
-        help="campaign directory: persist one JSON record per cell and "
-        "resume on re-runs (default: in-memory only)",
+        help="deprecated alias for --store json:DIR",
     )
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
@@ -466,19 +494,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sampling seed for random/halving strategies (default: 0)",
     )
     dse.add_argument(
+        "--store",
+        default=None,
+        metavar="URL",
+        help=f"{_STORE_HELP}; every evaluated cell persists, interrupted "
+        "explorations resume and strategies dedupe each other's cells "
+        "(default: in-memory only)",
+    )
+    dse.add_argument(
         "--out",
         default=None,
         metavar="DIR",
-        help="campaign directory: persist every evaluated cell, resume "
-        "interrupted explorations and dedupe across strategies "
-        "(default: in-memory only)",
+        help="deprecated alias for --store json:DIR",
     )
     dse.add_argument(
         "--csv",
         default=None,
         metavar="FILE",
         help="write the frontier as CSV to FILE "
-        "(default: <out>/frontier.csv when --out is given)",
+        "(default: <store dir>/frontier.csv when --store/--out is given)",
     )
     dse.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress output"
@@ -647,8 +681,18 @@ def _build_parser() -> argparse.ArgumentParser:
     def _obs_store_argument(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "store",
+            nargs="?",
+            default=None,
             metavar="STORE",
-            help="campaign store directory (or a telemetry.jsonl path)",
+            help="campaign store: a store URL (json:DIR / sqlite:FILE), a "
+            "store directory, or a telemetry.jsonl path",
+        )
+        sub.add_argument(
+            "--store",
+            dest="store_url",
+            default=None,
+            metavar="URL",
+            help=_STORE_HELP,
         )
 
     obs_history = obs_commands.add_parser(
@@ -707,6 +751,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default="last",
         metavar="RUN",
         help="run to export: id prefix, 'last' or 'prev' (default: last)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve sweeps over HTTP from a shared store (submit, poll, "
+        "fetch cells and frontiers)",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="URL",
+        help=f"{_STORE_HELP}; shared by every submitted sweep",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8350,
+        help="listen port; 0 picks a free one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="default worker processes per submitted sweep (a submission "
+        "may override with its own \"jobs\" field)",
     )
 
     report = commands.add_parser(
@@ -885,7 +959,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         instructions=args.instructions,
         warmup_fraction=args.warmup,
     )
-    store = ResultStore(args.out) if args.out is not None else None
+    try:
+        store = _open_store_flags(args.store, args.out)
+    except StoreURLError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     trace_log = TraceEventLog() if args.trace_out else None
     progress = _cell_progress(args.quiet)
 
@@ -912,7 +990,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     baseline = spec.configuration_names()[0]
     if store is not None:
-        print(f"results: {store.root} ({len(store)} records)")
+        print(f"results: {store.url} ({len(store)} records)")
         print()
         # Summarize the whole directory (it may hold more benchmarks than
         # this invocation swept), filtered to this sweep's grid parameters
@@ -957,7 +1035,11 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
-    store = ResultStore(args.out) if args.out is not None else None
+    try:
+        store = _open_store_flags(args.store, args.out)
+    except StoreURLError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
     trace_log = TraceEventLog() if args.trace_out else None
     progress = _cell_progress(args.quiet)
     result = run_dse(
@@ -985,14 +1067,14 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         f"resumed from store"
     )
     if store is not None:
-        print(f"results: {store.root} ({len(store)} records)")
+        print(f"results: {store.url} ({len(store)} records)")
     print()
     print(f"Pareto frontier ({len(result.frontier)} point(s), all objectives minimized):")
     print(format_frontier(result.frontier, result.ranks))
 
     csv_path = args.csv
-    if csv_path is None and args.out is not None:
-        csv_path = str(Path(args.out) / "frontier.csv")
+    if csv_path is None and store is not None:
+        csv_path = str(store.root / "frontier.csv")
     if csv_path is not None:
         payload = frontier_csv(result.frontier, result.ranks)
         Path(csv_path).parent.mkdir(parents=True, exist_ok=True)
@@ -1235,7 +1317,27 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     # Imported lazily: journal queries never need the simulator stack warm.
     from repro.obs import telemetry
 
-    journal_path = telemetry.resolve_journal(args.store)
+    if args.store is not None and args.store_url is not None:
+        print(
+            "repro: pass the store positionally or with --store, not both",
+            file=sys.stderr,
+        )
+        return 2
+    target = args.store_url if args.store_url is not None else args.store
+    if target is None:
+        print("repro: obs needs a store (STORE argument or --store URL)", file=sys.stderr)
+        return 2
+    if args.store_url is not None or re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", target):
+        # URL spelling: validate the scheme so a typo exits 2 with the
+        # supported list instead of "no telemetry journal at bogus:...".
+        from repro.campaign.backends import parse_store_url
+
+        try:
+            parse_store_url(target)
+        except StoreURLError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return 2
+    journal_path = telemetry.resolve_journal(target)
     if not journal_path.exists():
         print(
             f"repro: no telemetry journal at {journal_path} (run a sweep "
@@ -1287,6 +1389,32 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise AssertionError(
         f"unhandled obs command {args.obs_command!r}"
     )  # pragma: no cover
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the HTTP stack is only needed when actually serving.
+    from repro.serve import ReproServer
+
+    try:
+        server = ReproServer(
+            args.store, host=args.host, port=args.port, jobs=args.jobs
+        )
+    except StoreURLError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(
+            f"repro: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr
+        )
+        return 2
+    print(f"repro serve: listening on {server.url} (store {server.store.url})")
+    print(
+        "endpoints: POST /api/v1/campaigns, GET /api/v1/campaigns/<id>"
+        "[/frontier], GET /api/v1/cells/<key>, GET /api/v1/health "
+        "(Ctrl-C to stop)"
+    )
+    server.serve_forever()
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1342,6 +1470,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_profile(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         from repro.bench import main_bench
 

@@ -23,11 +23,11 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.executor import ParallelExecutor, ProgressCallback
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, open_store
 from repro.dse.objectives import DEFAULT_OBJECTIVES, Objective, resolve_objectives
 from repro.dse.pareto import ParetoPoint, frontier_and_ranks
 from repro.dse.space import SearchSpace, format_value
@@ -54,14 +54,18 @@ class Evaluator:
         space: SearchSpace,
         objectives: Sequence[Objective],
         jobs: Optional[int] = None,
-        store: Optional[ResultStore] = None,
+        store: Optional[Union[str, ResultStore]] = None,
         progress: Optional[ProgressCallback] = None,
         trace_log=None,
     ) -> None:
         self.space = space
         self.objectives = tuple(objectives)
         self.jobs = jobs
-        self.store = store
+        # Coerce store URLs ("json:dir", "sqlite:file.db", bare paths) up
+        # front so every batch reuses ONE ResultStore instance: the JSON
+        # backend's manifest conflict detection is per-writer, and the
+        # batches of a single search are intentionally the same writer.
+        self.store = open_store(store)
         self.progress = progress
         #: optional TraceEventLog: each batch becomes a span on the parent's
         #: track (its boundary doubles as the halving-rung marker) and the
@@ -239,7 +243,7 @@ def run_dse(
     objectives: Sequence[str] = DEFAULT_OBJECTIVES,
     budget: Optional[int] = None,
     jobs: Optional[int] = None,
-    store: Optional[ResultStore] = None,
+    store=None,
     seed: int = 0,
     progress: Optional[ProgressCallback] = None,
     trace_log=None,
@@ -249,7 +253,9 @@ def run_dse(
     Parameters mirror the ``repro dse`` CLI: ``strategy`` is one of
     ``grid``/``random``/``halving``, ``budget`` caps the number of
     candidates, ``jobs``/``store`` are forwarded to the campaign executor
-    (making the search parallel and resumable), and ``seed`` feeds the
+    (making the search parallel and resumable; ``store`` accepts a
+    :class:`~repro.campaign.store.ResultStore` or a store URL such as
+    ``json:results/dir`` or ``sqlite:results.db``), and ``seed`` feeds the
     sampling strategies.  ``trace_log`` optionally records batch/rung spans
     and per-worker cell spans as Chrome trace events (``--trace-out``).  The
     returned frontier is bit-identical for any ``jobs`` value and across
@@ -277,6 +283,7 @@ def run_dse(
         cells_simulated=evaluator.simulated,
         cells_resumed=evaluator.resumed,
     )
+    store = evaluator.store
     if store is not None:
         manifest_path = store.root / "dse.json"
         tmp = manifest_path.with_suffix(".tmp")

@@ -144,6 +144,27 @@ class TelemetryJournal:
         record.update(fields)
         self._append(record)
 
+    def serve_request(
+        self, method: str, path: str, status: int, wall_seconds: float
+    ) -> None:
+        """Write one served-HTTP-request record (``repro serve`` handling).
+
+        Serve sessions share the journal with the sweeps they trigger: each
+        submitted campaign runs under its own ``run_id`` (header, cells,
+        footer as usual), while the request handling itself is journaled as
+        ``serve_request`` lines under the server's session id.
+        """
+        self._append(
+            {
+                "record": "serve_request",
+                "run_id": self.run_id,
+                "method": str(method),
+                "path": str(path),
+                "status": int(status),
+                "wall_seconds": max(0.0, float(wall_seconds)),
+            }
+        )
+
     def run_end(
         self,
         cells_computed: int,
@@ -231,13 +252,25 @@ def read_journal(path: Union[str, Path]) -> List[dict]:
 
 
 def resolve_journal(path: Union[str, Path]) -> Path:
-    """Map a store directory or journal file onto the journal path.
+    """Map a store (URL, directory, live object) or journal file onto the
+    journal path.
 
-    Accepts the journal file itself, a campaign store directory (the
+    Accepts a live store (anything with a ``telemetry_path``), a store URL
+    (``json:dir`` / ``sqlite:db`` — resolved without touching the
+    filesystem), the journal file itself, a campaign store directory (the
     journal sits next to ``campaign.json``), or a path ending in the
     journal name that does not exist yet — the CLI reports that cleanly.
     """
-    candidate = Path(path)
+    telemetry = getattr(path, "telemetry_path", None)
+    if telemetry is not None:
+        return Path(telemetry)
+    text = str(path)
+    if text.startswith("sqlite:"):
+        db = Path(text[len("sqlite:"):])
+        return db.with_name(db.name + ".telemetry.jsonl")
+    if text.startswith("json:"):
+        return Path(text[len("json:"):]) / JOURNAL_NAME
+    candidate = Path(text)
     if candidate.is_dir():
         return candidate / JOURNAL_NAME
     return candidate
@@ -248,17 +281,21 @@ def load_runs(path: Union[str, Path]) -> List[JournalRun]:
     runs: Dict[str, JournalRun] = {}
     order: List[str] = []
     for record in read_journal(path):
+        kind = record.get("record")
+        if kind not in ("run_start", "run_end", "cell"):
+            # Other record shapes sharing the journal (serve_request lines
+            # from `repro serve`) are not campaign executions.
+            continue
         run_id = str(record.get("run_id", ""))
         if run_id not in runs:
             runs[run_id] = JournalRun(run_id=run_id)
             order.append(run_id)
         run = runs[run_id]
-        kind = record.get("record")
         if kind == "run_start":
             run.header = record
         elif kind == "run_end":
             run.footer = record
-        elif kind == "cell":
+        else:
             run.cells.append(record)
     return [runs[run_id] for run_id in order]
 

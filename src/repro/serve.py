@@ -1,0 +1,429 @@
+"""Sweep-as-a-service: a dependency-free HTTP front end over a shared store.
+
+``repro serve`` turns a campaign store into a small service: clients submit
+campaign sweeps over HTTP, poll their progress, and fetch individual cell
+records or the Pareto frontier of a finished sweep.  Because the store is
+content-hash keyed and simulation is deterministic (bit-identical results
+for any job count), a popular configuration grid is **computed once and
+served from cache** to every later caller — a second submission of the same
+campaign completes with zero cells recomputed, provable from the telemetry
+journal.
+
+The server is pure stdlib (:mod:`http.server` + :mod:`threading` +
+:mod:`queue`): a :class:`~http.server.ThreadingHTTPServer` answers requests
+while a single background worker drains the submission queue, so sweeps run
+one at a time against the shared store (the store's idempotent puts make
+even overlapping external writers safe; serializing merely keeps the host
+sane).  Every request is journaled through the PR 9 telemetry layer as a
+``serve_request`` record under the server's session id, next to the
+ordinary ``run_start``/``cell``/``run_end`` records of the sweeps it
+triggers.
+
+Endpoints (all JSON; see ``docs/architecture.md`` for a curl session):
+
+====== =================================== ====================================
+Method Path                                Meaning
+====== =================================== ====================================
+GET    ``/api/v1/health``                  liveness + store URL + cell count
+GET    ``/api/v1/store``                   store URL, cell count, manifest
+POST   ``/api/v1/campaigns``               submit a sweep (``{"preset": ...}``)
+GET    ``/api/v1/campaigns``               list submitted campaigns
+GET    ``/api/v1/campaigns/<id>``          poll one campaign's progress
+GET    ``/api/v1/campaigns/<id>/frontier`` Pareto frontier of a finished sweep
+GET    ``/api/v1/cells/<key>``             one stored cell record, verbatim
+====== =================================== ====================================
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import RunOptions
+from repro.campaign.executor import ParallelExecutor
+from repro.campaign.spec import PRESET_NAMES, CampaignSpec, campaign_preset
+from repro.campaign.store import ResultStore, open_store
+from repro.dse.objectives import DEFAULT_OBJECTIVES, resolve_objectives
+from repro.dse.pareto import ParetoPoint, pareto_frontier
+from repro.obs.logs import get_logger
+from repro.obs.telemetry import TelemetryJournal
+
+__all__ = ["ReproServer", "CampaignJob"]
+
+logger = get_logger(__name__)
+
+#: campaign job states, in lifecycle order
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class CampaignJob:
+    """One submitted sweep: its spec, lifecycle state and results."""
+
+    def __init__(self, job_id: str, spec: CampaignSpec, jobs: Optional[int]) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.jobs = jobs
+        self.state = "queued"
+        self.error: Optional[str] = None
+        self.done = 0
+        self.total = len(spec.cells())
+        self.cells_computed = 0
+        self.cells_skipped = 0
+        self.run_id: Optional[str] = None
+        #: config name -> {benchmark -> SimulationResult}, set when done
+        self.results: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def describe(self) -> dict:
+        """The JSON shape every campaign endpoint returns."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "campaign": self.spec.name,
+            "state": self.state,
+            "done": self.done,
+            "total": self.total,
+            "cells_computed": self.cells_computed,
+            "cells_skipped": self.cells_skipped,
+        }
+        if self.run_id is not None:
+            payload["run_id"] = self.run_id
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.state == "done":
+            payload["keys"] = sorted(cell.key() for cell in self.spec.cells())
+        return payload
+
+
+class _RequestError(Exception):
+    """An HTTP error response: (status, message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ReproServer` and journals them."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # BaseHTTPRequestHandler logs to stderr per request by default; the
+    # telemetry journal is the operational record, so keep stderr quiet.
+    def log_message(self, format: str, *args: object) -> None:
+        logger.debug("serve: " + format, *args)
+
+    @property
+    def app(self) -> "ReproServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        started = time.time()
+        try:
+            status, payload = self.app.dispatch(method, self.path, self._body())
+        except _RequestError as error:
+            status, payload = error.status, {"error": str(error)}
+        except Exception as error:  # never let a bug kill the connection
+            logger.exception("serve: unhandled error for %s %s", method, self.path)
+            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.app.journal_request(method, self.path, status, time.time() - started)
+
+    def _body(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return None
+        raw = self.rfile.read(length)
+        try:
+            parsed = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _RequestError(400, f"request body is not JSON: {error}")
+        if not isinstance(parsed, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        return parsed
+
+
+class ReproServer:
+    """The submit/poll/fetch service over one shared campaign store.
+
+    Parameters
+    ----------
+    store:
+        Store URL (``json:dir`` / ``sqlite:db``), bare directory path, or a
+        live :class:`ResultStore` — shared by every sweep this server runs.
+    host / port:
+        Bind address; ``port=0`` picks a free port (tests read
+        :attr:`port` after construction).
+    jobs:
+        Default worker-process count for submitted sweeps (a submission may
+        override it with a ``"jobs"`` field).
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = None,
+    ) -> None:
+        resolved = open_store(store)
+        if resolved is None:
+            raise ValueError("repro serve needs a store (json:dir or sqlite:db)")
+        self.store: ResultStore = resolved
+        self.jobs = jobs
+        self.journal = TelemetryJournal(self.store.telemetry_path)
+        self._lock = threading.Lock()
+        self._campaigns: Dict[str, CampaignJob] = {}
+        self._order: List[str] = []
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._server_thread: Optional[threading.Thread] = None
+        self._worker_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Start the HTTP listener and the sweep worker (both daemons)."""
+        self._server_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._worker_thread = threading.Thread(
+            target=self._drain, name="repro-serve-worker", daemon=True
+        )
+        self._server_thread.start()
+        self._worker_thread.start()
+        logger.info("serve: listening on %s (store %s)", self.url, self.store.url)
+
+    def shutdown(self) -> None:
+        """Stop accepting requests, let the current sweep finish, exit."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._queue.put(None)
+        if self._worker_thread is not None:
+            self._worker_thread.join()
+        if self._server_thread is not None:
+            self._server_thread.join()
+
+    def serve_forever(self) -> None:
+        """Foreground mode for the CLI: block until KeyboardInterrupt."""
+        self.start()
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def journal_request(
+        self, method: str, path: str, status: int, wall_seconds: float
+    ) -> None:
+        """Journal one handled request (the PR 9 telemetry layer)."""
+        self.journal.serve_request(method, path, status, wall_seconds)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, method: str, path: str, body: Optional[dict]
+    ) -> Tuple[int, dict]:
+        """Route one request; returns ``(status, JSON payload)``."""
+        parts = [part for part in path.split("?")[0].split("/") if part]
+        if len(parts) < 2 or parts[0] != "api" or parts[1] != "v1":
+            raise _RequestError(404, f"unknown path {path!r}; endpoints live under /api/v1")
+        route = parts[2:]
+        if route == ["health"] and method == "GET":
+            return 200, {"status": "ok", "store": self.store.url, "cells": len(self.store)}
+        if route == ["store"] and method == "GET":
+            manifest = self.store.manifest()
+            return 200, {
+                "store": self.store.url,
+                "cells": len(self.store),
+                "campaign": manifest.get("name") if manifest else None,
+            }
+        if route == ["campaigns"] and method == "POST":
+            return self._submit(body or {})
+        if route == ["campaigns"] and method == "GET":
+            with self._lock:
+                jobs = [self._campaigns[cid].describe() for cid in self._order]
+            return 200, {"campaigns": jobs}
+        if len(route) == 2 and route[0] == "campaigns" and method == "GET":
+            return 200, self._job(route[1]).describe()
+        if (
+            len(route) == 3
+            and route[0] == "campaigns"
+            and route[2] == "frontier"
+            and method == "GET"
+        ):
+            return self._frontier(route[1])
+        if len(route) == 2 and route[0] == "cells" and method == "GET":
+            record = self.store.record(route[1])
+            if record is None:
+                raise _RequestError(404, f"no stored cell {route[1]!r}")
+            return 200, record
+        raise _RequestError(404, f"no endpoint for {method} {path}")
+
+    def _job(self, job_id: str) -> CampaignJob:
+        with self._lock:
+            job = self._campaigns.get(job_id)
+        if job is None:
+            raise _RequestError(404, f"unknown campaign {job_id!r}")
+        return job
+
+    # ------------------------------------------------------------------
+    # Submit + worker
+    # ------------------------------------------------------------------
+    def _submit(self, body: dict) -> Tuple[int, dict]:
+        preset = body.get("preset")
+        if not isinstance(preset, str):
+            raise _RequestError(
+                400, f"submission needs a \"preset\" name (one of {', '.join(PRESET_NAMES)})"
+            )
+        try:
+            spec = campaign_preset(preset)
+        except KeyError as error:
+            raise _RequestError(400, str(error.args[0]) if error.args else str(error))
+        overrides = {}
+        for field in ("benchmarks", "instructions", "seed"):
+            if field in body:
+                overrides[field] = body[field]
+        if "warmup" in body:
+            overrides["warmup_fraction"] = body["warmup"]
+        if overrides:
+            try:
+                spec = spec.with_overrides(**overrides)
+            except (TypeError, ValueError) as error:
+                raise _RequestError(400, f"bad override: {error}")
+        jobs = body.get("jobs", self.jobs)
+        if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+            raise _RequestError(400, "\"jobs\" must be a positive integer")
+        with self._lock:
+            job_id = f"c{len(self._order) + 1:04d}"
+            job = CampaignJob(job_id, spec, jobs)
+            self._campaigns[job_id] = job
+            self._order.append(job_id)
+        self._queue.put(job_id)
+        return 202, job.describe()
+
+    def _drain(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            self._run_job(self._job(job_id))
+
+    def _run_job(self, job: CampaignJob) -> None:
+        with self._lock:
+            job.state = "running"
+
+        def progress(event: str, cell: object, done: int, total: int) -> None:
+            with self._lock:
+                job.done = done
+
+        # A dedicated journal per sweep gives each submission its own run_id
+        # in the shared journal — the "second submission recomputed nothing"
+        # proof reads its run_end and checks cells_computed == 0.
+        journal = TelemetryJournal(self.store.telemetry_path)
+        executor = ParallelExecutor(
+            options=RunOptions(jobs=job.jobs, store=self.store),
+            progress=progress,
+            journal=journal,
+        )
+        try:
+            results = executor.run(job.spec)
+        except Exception as error:
+            logger.exception("serve: campaign %s failed", job.id)
+            with self._lock:
+                job.state = "failed"
+                job.error = f"{type(error).__name__}: {error}"
+            return
+        with self._lock:
+            job.run_id = journal.run_id
+            job.cells_computed = len(executor.completed_cells)
+            job.cells_skipped = len(executor.skipped_cells)
+            job.done = job.total
+            job.results = {
+                run.benchmark: dict(run.results) for run in results.runs
+            }
+            job.state = "done"
+
+    # ------------------------------------------------------------------
+    # Frontier
+    # ------------------------------------------------------------------
+    def _frontier(self, job_id: str) -> Tuple[int, dict]:
+        """Pareto frontier of a finished sweep on the runtime/energy plane.
+
+        The first configuration of the campaign is the normalization
+        baseline (the campaign presets put the paper's Base1ldst first), so
+        the baseline itself sits at ``(1.0, 1.0)``.
+        """
+        job = self._job(job_id)
+        with self._lock:
+            state, by_benchmark = job.state, job.results
+        if state != "done" or by_benchmark is None:
+            raise _RequestError(
+                409, f"campaign {job_id!r} is {state}; the frontier needs state done"
+            )
+        config_names = job.spec.configuration_names()
+        objectives = resolve_objectives(DEFAULT_OBJECTIVES)
+        baseline_name = config_names[0]
+        baseline = {
+            benchmark: results[baseline_name]
+            for benchmark, results in by_benchmark.items()
+        }
+        points = []
+        for name in config_names:
+            candidate = {
+                benchmark: results[name]
+                for benchmark, results in by_benchmark.items()
+            }
+            values = tuple(
+                objective.evaluate(candidate, baseline) for objective in objectives
+            )
+            points.append(ParetoPoint(label=name, values=values))
+        frontier = pareto_frontier(points)
+
+        def as_dict(point: ParetoPoint) -> dict:
+            return {
+                "config": point.label,
+                "values": {
+                    objective.key: point.values[index]
+                    for index, objective in enumerate(objectives)
+                },
+            }
+
+        return 200, {
+            "id": job.id,
+            "campaign": job.spec.name,
+            "baseline": baseline_name,
+            "objectives": [objective.key for objective in objectives],
+            "points": [as_dict(point) for point in points],
+            "frontier": [as_dict(point) for point in frontier],
+        }

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import hashlib
 import linecache
-import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional
 
@@ -62,13 +61,18 @@ _DEFAULT_KERNEL = "specialized"
 def resolve_kernel(explicit: Optional[str] = None) -> str:
     """The effective kernel selection.
 
-    Explicit argument beats the ``REPRO_SIM_KERNEL`` environment variable
-    beats the built-in default (``"specialized"``) — mirroring
+    Explicit argument (a ``kernel=`` parameter or a
+    :class:`repro.api.RunOptions` field) beats the *deprecated*
+    ``REPRO_SIM_KERNEL`` environment variable — consulted through
+    :func:`repro.api.env_fallback`, which emits the ``DeprecationWarning``
+    — beats the built-in default (``"specialized"``), mirroring
     :func:`repro.workloads.columnar.resolve_frontend`.
     """
     choice = explicit
     if choice is None:
-        choice = os.environ.get(KERNEL_ENV, "").strip().lower() or _DEFAULT_KERNEL
+        from repro.api import env_fallback
+
+        choice = (env_fallback(KERNEL_ENV) or "").lower() or _DEFAULT_KERNEL
     if choice not in KERNELS:
         raise ValueError(f"kernel {choice!r} not in {KERNELS}")
     return choice

@@ -14,6 +14,7 @@ import gc
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from repro.api import RunOptions
 from repro.cpu.instruction import Instruction
 from repro.cpu.pipeline import OutOfOrderPipeline, PipelineParametersLite
 from repro.energy.accounting import EnergyAccountant, EnergyReport
@@ -202,7 +203,7 @@ class Simulator:
             slug = reason.replace(" ", "_")
             obs_metrics.registry.counter(f"kernel.fallback.{slug}").inc()
 
-    def _kernel_entry(self, kernel: Optional[str], collector):
+    def _kernel_entry(self, kernel: Optional[str], collector, scheduler: str = "event"):
         """Resolve the kernel selection and compile the entry point (or not).
 
         Returns the compiled ``kernel_run`` callable, or ``None`` when the
@@ -216,6 +217,12 @@ class Simulator:
         self.kernel_used = False
         self.kernel_fallback_reason = None
         if choice != "specialized":
+            return None
+        if scheduler != "event":
+            # Specialized kernels are fused event-driven loops; the cycle
+            # scheduler is the reference path and never runs one.
+            self.kernel_fallback_reason = "cycle scheduler"
+            self._count_kernel_fallback(self.kernel_fallback_reason)
             return None
         if collector is not None:
             # Attribution instruments the generic loop's stages; specialized
@@ -242,8 +249,17 @@ class Simulator:
         collector=None,
         frontend: Optional[str] = None,
         kernel: Optional[str] = None,
+        options: Optional[RunOptions] = None,
     ) -> SimulationResult:
         """Execute ``trace`` and return performance plus energy results.
+
+        ``options`` is the preferred way to configure the run: one
+        :class:`repro.api.RunOptions` carrying frontend, kernel, scheduler
+        and collector.  The loose ``collector=``/``frontend=``/``kernel=``
+        keywords remain as deprecated fallbacks that resolve into a
+        ``RunOptions`` (via :meth:`RunOptions.from_env`, which also absorbs
+        the deprecated environment variables); mixing them with ``options=``
+        raises ``ValueError``.
 
         ``warmup_fraction`` runs the first part of the trace only to warm the
         caches, TLBs and way tables; its cycles and events are discarded
@@ -281,16 +297,24 @@ class Simulator:
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must lie in [0, 1)")
-        # Imported lazily: the workloads package reaches repro.analysis
-        # through the obs layer, which imports this module back.
-        from repro.workloads.columnar import resolve_frontend
-
-        entry = self._kernel_entry(kernel, collector)
-        if resolve_frontend(frontend) == "columnar":
+        if options is not None:
+            if collector is not None or frontend is not None or kernel is not None:
+                raise ValueError(
+                    "pass options= or the legacy collector=/frontend=/kernel= "
+                    "keywords, not both"
+                )
+        else:
+            options = RunOptions.from_env(
+                collector=collector, frontend=frontend, kernel=kernel
+            )
+        collector = options.collector
+        scheduler = options.resolved_scheduler()
+        entry = self._kernel_entry(options.kernel, collector, scheduler)
+        if options.resolved_frontend() == "columnar":
             as_columnar = getattr(trace, "columnar", None)
             if as_columnar is not None:
                 return self._run_columnar(
-                    as_columnar(), warmup_fraction, collector, entry
+                    as_columnar(), warmup_fraction, collector, entry, scheduler
                 )
         instructions = list(trace)
         # Warm the layout's memoised address decomposition in one pass so
@@ -318,7 +342,11 @@ class Simulator:
         try:
             if warmup_count:
                 warmup_pipeline = OutOfOrderPipeline(
-                    self.interface, params=params, stats=self.stats, kernel=entry
+                    self.interface,
+                    params=params,
+                    stats=self.stats,
+                    scheduler=scheduler,
+                    kernel=entry,
                 )
                 warmup_pipeline.run(instructions[:warmup_count], trace_arrays)
                 self.stats.clear()
@@ -326,6 +354,7 @@ class Simulator:
                 self.interface,
                 params=params,
                 stats=self.stats,
+                scheduler=scheduler,
                 collector=collector,
                 kernel=entry,
             )
@@ -346,7 +375,7 @@ class Simulator:
         )
 
     def _run_columnar(
-        self, view, warmup_fraction: float, collector, entry=None
+        self, view, warmup_fraction: float, collector, entry=None, scheduler="event"
     ) -> SimulationResult:
         """The column-batched run: no Instruction lists anywhere in the loop.
 
@@ -369,7 +398,11 @@ class Simulator:
         try:
             if warmup_count:
                 warmup_pipeline = OutOfOrderPipeline(
-                    self.interface, params=params, stats=self.stats, kernel=entry
+                    self.interface,
+                    params=params,
+                    stats=self.stats,
+                    scheduler=scheduler,
+                    kernel=entry,
                 )
                 warmup_pipeline.run(view.run_slice(0, warmup_count))
                 self.stats.clear()
@@ -377,6 +410,7 @@ class Simulator:
                 self.interface,
                 params=params,
                 stats=self.stats,
+                scheduler=scheduler,
                 collector=collector,
                 kernel=entry,
             )
@@ -404,12 +438,19 @@ def run_configuration(
     collector=None,
     frontend: Optional[str] = None,
     kernel: Optional[str] = None,
+    options: Optional[RunOptions] = None,
 ) -> SimulationResult:
-    """One-call helper: build a :class:`Simulator` for ``config`` and run ``trace``."""
+    """One-call helper: build a :class:`Simulator` for ``config`` and run ``trace``.
+
+    Prefer ``options=`` (a :class:`repro.api.RunOptions`); the loose
+    keywords remain as deprecated fallbacks, exactly as in
+    :meth:`Simulator.run`.
+    """
     return Simulator(config).run(
         trace,
         warmup_fraction=warmup_fraction,
         collector=collector,
         frontend=frontend,
         kernel=kernel,
+        options=options,
     )

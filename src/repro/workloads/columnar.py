@@ -53,7 +53,6 @@ with the offending record/entry in the message.
 
 from __future__ import annotations
 
-import os
 import re
 import struct
 import sys
@@ -97,12 +96,21 @@ _ZERO_U32 = b"\x00\x00\x00\x00"
 def resolve_frontend(explicit: Optional[str] = None) -> str:
     """The trace frontend to use: ``explicit`` arg > environment > default.
 
-    ``explicit`` (a ``frontend=`` parameter) wins when given; otherwise the
-    ``REPRO_TRACE_FRONTEND`` environment variable is consulted, and the
-    default is ``"columnar"``.  Unknown names raise ``ValueError`` so a typo
-    never silently selects the wrong path.
+    ``explicit`` (a ``frontend=`` parameter or a
+    :class:`repro.api.RunOptions` field) wins when given; otherwise the
+    *deprecated* ``REPRO_TRACE_FRONTEND`` environment variable is consulted
+    through :func:`repro.api.env_fallback` (which emits the
+    ``DeprecationWarning``), and the default is ``"columnar"``.  Unknown
+    names raise ``ValueError`` so a typo never silently selects the wrong
+    path.
     """
-    value = explicit if explicit is not None else os.environ.get(FRONTEND_ENV)
+    value = explicit
+    if value is None:
+        # Lazy import: repro.api is a leaf module, but keeping the env
+        # plumbing out of module scope keeps import order irrelevant.
+        from repro.api import env_fallback
+
+        value = env_fallback(FRONTEND_ENV)
     if value is None or not value.strip():
         return FRONTENDS[0]
     value = value.strip().lower()

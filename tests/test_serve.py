@@ -1,0 +1,172 @@
+"""Round-trip tests for ``repro serve`` over a real HTTP socket.
+
+A :class:`~repro.serve.ReproServer` on an ephemeral port, driven through
+:mod:`http.client`: submit the fig4-mini preset, poll to completion, fetch
+cells and the frontier, then prove the second identical submission was
+served entirely from the store (zero recompute) via the telemetry journal.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.campaign.spec import campaign_preset
+from repro.obs import telemetry
+from repro.serve import ReproServer
+
+POLL_TIMEOUT = 300.0
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = ReproServer(f"sqlite:{tmp_path / 'serve.db'}", port=0, jobs=1)
+    server.start()
+    yield server
+    server.shutdown()
+
+
+def request(server, method, path, body=None):
+    """One HTTP exchange; returns ``(status, decoded JSON)``."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+def poll_until_done(server, job_id):
+    deadline = time.time() + POLL_TIMEOUT
+    while time.time() < deadline:
+        status, job = request(server, "GET", f"/api/v1/campaigns/{job_id}")
+        assert status == 200
+        if job["state"] == "done":
+            return job
+        assert job["state"] != "failed", job.get("error")
+        time.sleep(0.1)
+    raise AssertionError(f"campaign {job_id} never finished")
+
+
+class TestEndpoints:
+    def test_health(self, server):
+        status, payload = request(server, "GET", "/api/v1/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["store"].startswith("sqlite:")
+
+    def test_unknown_path_is_404(self, server):
+        status, payload = request(server, "GET", "/nope")
+        assert status == 404
+        assert "api/v1" in payload["error"]
+
+    def test_submit_needs_a_preset(self, server):
+        status, payload = request(server, "POST", "/api/v1/campaigns", body={})
+        assert status == 400
+        assert "preset" in payload["error"]
+        status, payload = request(
+            server, "POST", "/api/v1/campaigns", body={"preset": "fig99"}
+        )
+        assert status == 400
+
+    def test_bad_body_is_400(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/api/v1/campaigns", body="not json",
+                headers={"Content-Type": "application/json"},
+            )
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_missing_cell_is_404(self, server):
+        status, _ = request(server, "GET", "/api/v1/cells/deadbeef")
+        assert status == 404
+
+    def test_frontier_before_done_is_409(self, server):
+        status, _ = request(server, "GET", "/api/v1/campaigns/c0001/frontier")
+        assert status == 404  # not submitted at all
+
+
+class TestRoundTrip:
+    def test_submit_poll_fetch_and_zero_recompute(self, server):
+        # --- first submission computes every cell -----------------------
+        status, job = request(
+            server, "POST", "/api/v1/campaigns", body={"preset": "fig4-mini"}
+        )
+        assert status == 202
+        assert job["state"] == "queued" or job["state"] == "running"
+        first = poll_until_done(server, job["id"])
+        spec = campaign_preset("fig4-mini")
+        expected_keys = sorted(cell.key() for cell in spec.cells())
+        assert first["keys"] == expected_keys
+        assert first["cells_computed"] == len(expected_keys)
+        assert first["cells_skipped"] == 0
+
+        # --- cells come back verbatim from the shared store -------------
+        for key in expected_keys[:3]:
+            status, record = request(server, "GET", f"/api/v1/cells/{key}")
+            assert status == 200
+            assert record == server.store.record(key)
+
+        # --- frontier: baseline normalizes to (1.0, 1.0) ----------------
+        status, frontier = request(
+            server, "GET", f"/api/v1/campaigns/{first['id']}/frontier"
+        )
+        assert status == 200
+        assert frontier["objectives"] == ["runtime", "energy"]
+        by_config = {point["config"]: point["values"] for point in frontier["points"]}
+        baseline_values = by_config[frontier["baseline"]]
+        assert baseline_values["runtime"] == pytest.approx(1.0)
+        assert baseline_values["energy"] == pytest.approx(1.0)
+        assert frontier["frontier"]  # non-empty
+
+        # --- second identical submission: zero recompute ----------------
+        status, job2 = request(
+            server, "POST", "/api/v1/campaigns", body={"preset": "fig4-mini"}
+        )
+        assert status == 202
+        second = poll_until_done(server, job2["id"])
+        assert second["cells_computed"] == 0
+        assert second["cells_skipped"] == len(expected_keys)
+        assert second["keys"] == expected_keys
+
+        # Proof from the journal, not just the in-memory counters: the
+        # second submission's run_end records zero computed cells.
+        lines = [
+            json.loads(line)
+            for line in server.store.telemetry_path.read_text().splitlines()
+        ]
+        run_end = {
+            rec["run_id"]: rec for rec in lines if rec["record"] == "run_end"
+        }
+        assert run_end[second["run_id"]]["cells_computed"] == 0
+        assert run_end[first["run_id"]]["cells_computed"] == len(expected_keys)
+
+        # Every journal line — serve_request records included — validates
+        # against the checked-in schema.
+        schema = telemetry.load_schema()
+        kinds = set()
+        for record in lines:
+            telemetry.validate_record(record, schema)
+            kinds.add(record["record"])
+        assert "serve_request" in kinds
+        served = [rec for rec in lines if rec["record"] == "serve_request"]
+        assert all(rec["run_id"] == server.journal.run_id for rec in served)
+        assert {(rec["method"], rec["status"]) for rec in served} >= {
+            ("POST", 202),
+            ("GET", 200),
+        }
+
+    def test_campaign_listing(self, server):
+        request(server, "POST", "/api/v1/campaigns", body={"preset": "fig4-mini"})
+        status, listing = request(server, "GET", "/api/v1/campaigns")
+        assert status == 200
+        assert [job["id"] for job in listing["campaigns"]] == ["c0001"]
